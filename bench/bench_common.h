@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Shared infrastructure for the paper-reproduction benches: run
+ * profiles (quick / default / full via SOMA_BENCH_PROFILE), the
+ * workload x platform grid of Sec. VI-A, and a result collector that
+ * prints the per-figure tables after google-benchmark finishes.
+ */
+#ifndef SOMA_BENCH_BENCH_COMMON_H
+#define SOMA_BENCH_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/cocco.h"
+#include "hw/hardware.h"
+#include "search/soma.h"
+#include "workload/models.h"
+
+namespace soma {
+namespace bench {
+
+enum class Profile { kQuick, kDefault, kFull };
+
+inline Profile
+ProfileFromEnv()
+{
+    const char *env = std::getenv("SOMA_BENCH_PROFILE");
+    if (!env) return Profile::kDefault;
+    if (!std::strcmp(env, "quick")) return Profile::kQuick;
+    if (!std::strcmp(env, "full")) return Profile::kFull;
+    return Profile::kDefault;
+}
+
+inline const char *
+ProfileName(Profile p)
+{
+    switch (p) {
+      case Profile::kQuick: return "quick";
+      case Profile::kDefault: return "default";
+      case Profile::kFull: return "full";
+    }
+    return "?";
+}
+
+inline SomaOptions
+SomaOptsFor(Profile p, std::uint64_t seed)
+{
+    switch (p) {
+      case Profile::kQuick: return QuickSomaOptions(seed);
+      case Profile::kDefault: {
+        SomaOptions o = DefaultSomaOptions(seed);
+        o.alloc.max_iterations = 2;
+        return o;
+      }
+      case Profile::kFull: {
+        SomaOptions o = DefaultSomaOptions(seed);
+        o.lfa.beta = 100;
+        o.lfa.max_iterations = 20000;
+        o.dlsa.beta = 100;
+        o.dlsa.max_iterations = 30000;
+        o.alloc.max_iterations = 5;
+        o.Finalize();
+        return o;
+      }
+    }
+    return QuickSomaOptions(seed);
+}
+
+inline CoccoOptions
+CoccoOptsFor(Profile p, std::uint64_t seed)
+{
+    switch (p) {
+      case Profile::kQuick: return QuickCoccoOptions(seed);
+      case Profile::kDefault: return DefaultCoccoOptions(seed);
+      case Profile::kFull: {
+        CoccoOptions o = DefaultCoccoOptions(seed);
+        o.beta = 100;
+        o.max_iterations = 20000;
+        return o;
+      }
+    }
+    return QuickCoccoOptions(seed);
+}
+
+/** Batch sizes swept per profile (the paper uses 1..64). */
+inline std::vector<int>
+BatchesFor(Profile p)
+{
+    switch (p) {
+      case Profile::kQuick: return {1};
+      case Profile::kDefault: return {1, 4};
+      case Profile::kFull: return {1, 4, 16, 64};
+    }
+    return {1};
+}
+
+/** One evaluation configuration of Fig. 6. */
+struct WorkloadConfig {
+    std::string workload;  ///< model-zoo name
+    std::string label;     ///< display name used in tables
+    bool cloud = false;    ///< cloud (128 TOPS) vs edge (16 TOPS)
+};
+
+/**
+ * The Fig. 6 grid: the four CNNs on both platforms, GPT-2-Small on the
+ * edge and GPT-2-XL on the cloud (Sec. VI-A2).
+ */
+inline std::vector<WorkloadConfig>
+Fig6Grid()
+{
+    std::vector<WorkloadConfig> grid;
+    for (const char *net : {"resnet50", "resnet101", "ires", "randwire"}) {
+        grid.push_back({net, net, false});
+        grid.push_back({net, net, true});
+    }
+    grid.push_back({"gpt2s-prefill", "gpt2-prefill", false});
+    grid.push_back({"gpt2xl-prefill", "gpt2-prefill", true});
+    grid.push_back({"gpt2s-decode", "gpt2-decode", false});
+    grid.push_back({"gpt2xl-decode", "gpt2-decode", true});
+    return grid;
+}
+
+inline HardwareConfig
+PlatformFor(const WorkloadConfig &cfg)
+{
+    return cfg.cloud ? CloudAccelerator() : EdgeAccelerator();
+}
+
+/** Results of one Cocco-vs-SoMa configuration. */
+struct ComparisonRow {
+    WorkloadConfig cfg;
+    int batch = 1;
+    EvalReport cocco;
+    EvalReport ours1;
+    EvalReport ours2;
+};
+
+/** Run the three schemes of Fig. 6 for one configuration. */
+inline ComparisonRow
+RunComparison(const WorkloadConfig &cfg, int batch, Profile profile,
+              std::uint64_t seed)
+{
+    ComparisonRow row;
+    row.cfg = cfg;
+    row.batch = batch;
+    Graph graph = BuildModelByName(cfg.workload, batch);
+    HardwareConfig hw = PlatformFor(cfg);
+    CoccoResult cocco = RunCocco(graph, hw, CoccoOptsFor(profile, seed));
+    SomaSearchResult ours = RunSoma(graph, hw, SomaOptsFor(profile, seed));
+    row.cocco = cocco.report;
+    row.ours1 = ours.stage1_report;
+    row.ours2 = ours.report;
+    return row;
+}
+
+}  // namespace bench
+}  // namespace soma
+
+#endif  // SOMA_BENCH_BENCH_COMMON_H

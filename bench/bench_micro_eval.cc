@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Engineering microbenchmarks: throughput of the LFA parse and the
+ * timeline evaluator — the operations at the heart of every SA
+ * iteration. Not a paper figure; used to keep the search fast.
+ */
+#include <benchmark/benchmark.h>
+
+#include "corearray/core_array.h"
+#include "hw/hardware.h"
+#include "notation/parser.h"
+#include "search/dlsa_heuristics.h"
+#include "search/lfa_stage.h"
+#include "sim/evaluator.h"
+#include "workload/models.h"
+
+namespace {
+
+using namespace soma;
+
+void
+BM_ParseLfaResNet50(benchmark::State &state)
+{
+    Graph graph = BuildResNet50(1);
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator core_eval(graph, hw);
+    LfaEncoding lfa = MakeInitialLfa(graph, hw, 128);
+    for (auto _ : state) {
+        ParsedSchedule parsed = ParseLfa(graph, lfa, core_eval);
+        benchmark::DoNotOptimize(parsed.valid);
+    }
+}
+BENCHMARK(BM_ParseLfaResNet50);
+
+void
+BM_EvaluateResNet50(benchmark::State &state)
+{
+    Graph graph = BuildResNet50(1);
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator core_eval(graph, hw);
+    LfaEncoding lfa = MakeInitialLfa(graph, hw, 128);
+    ParsedSchedule parsed = ParseLfa(graph, lfa, core_eval);
+    DlsaEncoding dlsa = MakeDoubleBufferDlsa(parsed);
+    Ops total_ops = graph.TotalOps();
+    for (auto _ : state) {
+        EvalReport rep = EvaluateSchedule(graph, hw, parsed, dlsa,
+                                          hw.gbuf_bytes, total_ops);
+        benchmark::DoNotOptimize(rep.latency);
+    }
+    state.counters["tiles"] = parsed.NumTiles();
+    state.counters["tensors"] = parsed.NumTensors();
+}
+BENCHMARK(BM_EvaluateResNet50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The compiler flow end to end (Fig. 5 right side): search a schedule,
+ * emit the textual IR, lower to the abstract load/store/compute
+ * instruction stream, execute it on the instruction VM, and verify the
+ * VM reproduces the analytical latency. Also dumps the CSV traces used
+ * for plotting execution graphs.
+ *
+ * Run: ./build/examples/compile_flow [model] [batch] [outdir]
+ */
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "compiler/instruction_gen.h"
+#include "compiler/ir.h"
+#include "compiler/vm.h"
+#include "search/soma.h"
+#include "sim/trace.h"
+#include "workload/models.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace soma;
+    std::string model = argc > 1 ? argv[1] : "resnet50";
+    int batch = argc > 2 ? std::atoi(argv[2]) : 1;
+    std::string outdir = argc > 3 ? argv[3] : ".";
+
+    Graph graph = BuildModelByName(model, batch);
+    HardwareConfig hw = EdgeAccelerator();
+    SomaSearchResult best = RunSoma(graph, hw, QuickSomaOptions(11));
+    if (!best.report.valid) {
+        std::cerr << "no valid schedule found: "
+                  << best.report.why_invalid << "\n";
+        return 1;
+    }
+    std::cout << "schedule: " << best.report.num_lgs << " LGs, "
+              << best.report.num_tiles << " tiles, latency "
+              << best.report.latency * 1e3 << " ms\n";
+
+    // IR.
+    IrModule ir = GenerateIr(graph, best.parsed, best.dlsa);
+    std::ofstream(outdir + "/" + model + ".ir") << ir.ToText();
+    std::cout << "wrote " << model << ".ir (" << ir.tiles.size()
+              << " tiles, " << ir.tensors.size() << " tensors)\n";
+
+    // Instructions.
+    Program prog = GenerateInstructions(ir);
+    std::ofstream(outdir + "/" + model + ".asm") << prog.ToText();
+    std::cout << "wrote " << model << ".asm (" << prog.instructions.size()
+              << " instructions: " << prog.NumLoads() << " loads, "
+              << prog.NumStores() << " stores, " << prog.NumComputes()
+              << " computes)\n";
+
+    // Execute on the VM and cross-check against the evaluator.
+    VmResult vm = ExecuteIr(ir, hw);
+    if (!vm.ok) {
+        std::cerr << "VM error: " << vm.error << "\n";
+        return 1;
+    }
+    double rel = std::abs(vm.makespan - best.report.latency) /
+                 best.report.latency;
+    std::cout << "VM makespan " << vm.makespan * 1e3
+              << " ms vs evaluator " << best.report.latency * 1e3
+              << " ms (rel diff " << rel << ")\n";
+
+    // Traces for plotting.
+    {
+        std::ofstream f(outdir + "/" + model + "_compute.csv");
+        WriteComputeTraceCsv(f, graph, best.parsed, best.report);
+    }
+    {
+        std::ofstream f(outdir + "/" + model + "_dram.csv");
+        WriteDramTraceCsv(f, graph, best.parsed, best.dlsa, best.report);
+    }
+    {
+        std::ofstream f(outdir + "/" + model + "_buffer.csv");
+        WriteBufferTraceCsv(f, best.parsed, best.dlsa);
+    }
+    std::cout << "wrote " << model
+              << "_{compute,dram,buffer}.csv trace files\n";
+    return rel < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Miniature design-space exploration (Fig. 7 style): sweep DRAM
+ * bandwidth x buffer size for one workload and print the latency grid
+ * for Cocco and SoMa, highlighting the minimum-latency envelope.
+ *
+ * Run: ./build/examples/dse_mini [model] [batch] [seed]
+ */
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "baselines/cocco.h"
+#include "common/table.h"
+#include "hw/hardware.h"
+#include "search/soma.h"
+#include "workload/models.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace soma;
+    std::string model = argc > 1 ? argv[1] : "resnet50";
+    int batch = argc > 2 ? std::atoi(argv[2]) : 1;
+    std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+    const std::vector<double> bandwidths = {8, 16, 32, 64};
+    const std::vector<Bytes> buffers = {2LL << 20, 4LL << 20, 8LL << 20,
+                                        16LL << 20};
+
+    Graph graph = BuildModelByName(model, batch);
+    HardwareConfig base = EdgeAccelerator();
+    std::cout << "DSE: " << model << " batch " << batch << " on "
+              << base.PeakTops() << " TOPS edge\n";
+
+    for (bool use_soma : {false, true}) {
+        std::cout << "\n" << (use_soma ? "SoMa" : "Cocco")
+                  << " latency (ms): rows = DRAM GB/s, cols = buffer MB\n";
+        std::vector<std::string> header = {"GB/s \\ MB"};
+        for (Bytes b : buffers)
+            header.push_back(std::to_string(b >> 20));
+        Table t(header);
+        double best = 1e30;
+        for (double bw : bandwidths) {
+            std::vector<std::string> row = {FormatDouble(bw, 0)};
+            for (Bytes buf : buffers) {
+                HardwareConfig hw = WithBufferAndBandwidth(base, buf, bw);
+                double latency;
+                if (use_soma) {
+                    latency = RunSoma(graph, hw, QuickSomaOptions(seed))
+                                  .report.latency;
+                } else {
+                    latency = RunCocco(graph, hw, QuickCoccoOptions(seed))
+                                  .report.latency;
+                }
+                best = std::min(best, latency);
+                row.push_back(FormatDouble(latency * 1e3, 2));
+            }
+            t.AddRow(row);
+        }
+        t.Print(std::cout);
+        std::cout << "min latency " << FormatDouble(best * 1e3, 2)
+                  << " ms\n";
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 8 walkthrough: print the practical execution graphs of the
+ * schemes explored by Cocco, SoMa stage 1, and SoMa stage 2 for one
+ * workload, so the DRAM/COMPUTE/BUFFER trade-offs can be inspected.
+ *
+ * Run: ./build/examples/execution_graph [model] [batch] [rows]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/cocco.h"
+#include "hw/hardware.h"
+#include "search/soma.h"
+#include "sim/report.h"
+#include "workload/models.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace soma;
+    std::string model = argc > 1 ? argv[1] : "resnet50";
+    int batch = argc > 2 ? std::atoi(argv[2]) : 1;
+    int rows = argc > 3 ? std::atoi(argv[3]) : 40;
+
+    Graph graph = BuildModelByName(model, batch);
+    HardwareConfig hw = EdgeAccelerator();
+
+    CoccoResult cocco = RunCocco(graph, hw, QuickCoccoOptions(3));
+    std::cout << "==== Cocco ====\n";
+    std::cout << "scheme: " << cocco.lfa.ToString(graph) << "\n";
+    PrintExecutionGraph(std::cout, graph, cocco.parsed, cocco.dlsa,
+                        cocco.report, rows);
+
+    SomaSearchResult ours = RunSoma(graph, hw, QuickSomaOptions(3));
+    std::cout << "\n==== SoMa stage 1 (double-buffer DLSA) ====\n";
+    std::cout << "scheme: " << ours.lfa.ToString(graph) << "\n";
+    PrintExecutionGraph(std::cout, graph, ours.parsed, ours.stage1_dlsa,
+                        ours.stage1_report, rows);
+
+    std::cout << "\n==== SoMa stage 2 (searched DLSA) ====\n";
+    PrintExecutionGraph(std::cout, graph, ours.parsed, ours.dlsa,
+                        ours.report, rows);
+    return 0;
+}

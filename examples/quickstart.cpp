@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quickstart: build a small CNN, run the full SoMa exploration on the
+ * edge accelerator, print the report, and lower the winning scheme to
+ * instructions.
+ *
+ * Run: ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "compiler/instruction_gen.h"
+#include "compiler/ir.h"
+#include "hw/hardware.h"
+#include "search/soma.h"
+#include "sim/report.h"
+#include "workload/graph_builder.h"
+
+int
+main()
+{
+    using namespace soma;
+
+    // 1. Describe a workload: a small 6-layer CNN.
+    GraphBuilder b("tinycnn", /*batch=*/1);
+    ExtShape image{3, 64, 64};
+    LayerId c1 = b.InputConv("conv1", image, 32, 3, 1, 1);
+    LayerId c2 = b.Conv("conv2", c1, 32, 3, 1, 1);
+    LayerId add = b.Eltwise("add", {c1, c2});
+    LayerId c3 = b.Conv("conv3", add, 64, 3, 2, 1);
+    LayerId gap = b.GlobalPool("gap", c3);
+    LayerId fc = b.FcFull("fc", gap, 10);
+    b.MarkOutput(fc);
+    Graph graph = b.Take();
+
+    // 2. Pick hardware and run the two-stage exploration.
+    HardwareConfig hw = EdgeAccelerator();
+    SomaSearchResult result = RunSoma(graph, hw, QuickSomaOptions(/*seed=*/7));
+
+    std::cout << "Best scheme: " << result.lfa.ToString(graph) << "\n";
+    std::cout << "Latency: " << result.report.latency * 1e6 << " us, "
+              << "energy: " << result.report.EnergyJ() * 1e3 << " mJ\n";
+    std::cout << "Compute utilization: "
+              << result.report.compute_util * 100.0 << "% (theoretical max "
+              << result.report.theory_max_util * 100.0 << "%)\n";
+
+    // 3. Execution graph (Fig. 8 style).
+    PrintExecutionGraph(std::cout, graph, result.parsed, result.dlsa,
+                        result.report, /*max_rows=*/20);
+
+    // 4. Lower to IR and instructions.
+    IrModule ir = GenerateIr(graph, result.parsed, result.dlsa);
+    Program prog = GenerateInstructions(ir);
+    std::cout << "\nGenerated " << prog.instructions.size()
+              << " instructions (" << prog.NumLoads() << " loads, "
+              << prog.NumStores() << " stores, " << prog.NumComputes()
+              << " computes)\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal leveled logging for the SoMa library.
+ *
+ * The framework is a library first; logging defaults to warnings only so
+ * that benches and tests stay quiet. Verbosity can be raised globally
+ * (e.g. by examples) to trace search progress.
+ */
+#ifndef SOMA_COMMON_LOGGING_H
+#define SOMA_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace soma {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/** Set the global log threshold; messages below it are dropped. */
+void SetLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel GetLogLevel();
+
+/** Emit a message at the given level (thread safe). */
+void LogMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+class LogLine {
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    ~LogLine() { LogMessage(level_, stream_.str()); }
+    template <typename T>
+    LogLine &operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define SOMA_LOG(level) \
+    if (static_cast<int>(level) < static_cast<int>(::soma::GetLogLevel())) \
+        ; \
+    else \
+        ::soma::detail::LogLine(level)
+
+#define SOMA_DEBUG SOMA_LOG(::soma::LogLevel::kDebug)
+#define SOMA_INFO SOMA_LOG(::soma::LogLevel::kInfo)
+#define SOMA_WARN SOMA_LOG(::soma::LogLevel::kWarn)
+#define SOMA_ERROR SOMA_LOG(::soma::LogLevel::kError)
+
+}  // namespace soma
+
+#endif  // SOMA_COMMON_LOGGING_H

@@ -1,0 +1,51 @@
+#include "common/rng.h"
+
+#include <cassert>
+
+namespace soma {
+
+int
+Rng::UniformInt(int lo, int hi)
+{
+    assert(lo <= hi);
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+std::int64_t
+Rng::UniformInt64(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::UniformReal()
+{
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+}
+
+bool
+Rng::Flip(double p)
+{
+    return UniformReal() < p;
+}
+
+int
+Rng::WeightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return -1;
+    double draw = UniformReal() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (draw < acc) return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace soma

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic random number generation used by the search engines.
+ *
+ * All stochastic components of SoMa (simulated annealing, RandWire graph
+ * generation) draw from this wrapper so that experiments are reproducible
+ * from a single seed, mirroring the per-configuration seeds of the
+ * paper's artifact (`args.txt`).
+ */
+#ifndef SOMA_COMMON_RNG_H
+#define SOMA_COMMON_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace soma {
+
+/**
+ * A small deterministic RNG facade over std::mt19937_64.
+ */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x5051cafeULL) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] (inclusive). Requires lo <= hi. */
+    int UniformInt(int lo, int hi);
+
+    /** Uniform 64-bit integer in [lo, hi] (inclusive). */
+    std::int64_t UniformInt64(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform real in [0, 1). */
+    double UniformReal();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool Flip(double p = 0.5);
+
+    /**
+     * Sample an index in [0, weights.size()) with probability proportional
+     * to the (non-negative) weights. Returns -1 when all weights are zero
+     * or the vector is empty.
+     */
+    int WeightedIndex(const std::vector<double> &weights);
+
+    /** Access the underlying engine (for std::shuffle etc.). */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace soma
+
+#endif  // SOMA_COMMON_RNG_H

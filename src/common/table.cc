@@ -1,0 +1,86 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <iomanip>
+
+namespace soma {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void
+Table::AddRow(std::vector<std::string> row)
+{
+    assert(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::Print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+    print_row(header_);
+    std::string rule;
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << "\n";
+    for (const auto &row : rows_) print_row(row);
+}
+
+void
+Table::PrintCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    print_row(header_);
+    for (const auto &row : rows_) print_row(row);
+}
+
+std::string
+FormatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+FormatBytes(double bytes)
+{
+    const char *suffix = "B";
+    double v = bytes;
+    if (v >= 1024.0 * 1024.0 * 1024.0) {
+        v /= 1024.0 * 1024.0 * 1024.0;
+        suffix = "GB";
+    } else if (v >= 1024.0 * 1024.0) {
+        v /= 1024.0 * 1024.0;
+        suffix = "MB";
+    } else if (v >= 1024.0) {
+        v /= 1024.0;
+        suffix = "KB";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f%s", v, suffix);
+    return buf;
+}
+
+}  // namespace soma

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Console table and CSV writers used by the benchmark harnesses to print
+ * the rows of every reproduced paper table/figure.
+ */
+#ifndef SOMA_COMMON_TABLE_H
+#define SOMA_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace soma {
+
+/**
+ * A simple column-aligned console table.
+ *
+ * Usage:
+ *   Table t({"net", "speedup"});
+ *   t.AddRow({"resnet50", "2.15"});
+ *   t.Print(std::cout);
+ */
+class Table {
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void AddRow(std::vector<std::string> row);
+
+    /** Render with padded columns. */
+    void Print(std::ostream &os) const;
+
+    /** Render as comma-separated values (header + rows). */
+    void PrintCsv(std::ostream &os) const;
+
+    std::size_t NumRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string FormatDouble(double value, int precision = 3);
+
+/** Format a byte count with a human-readable suffix (KB/MB/GB). */
+std::string FormatBytes(double bytes);
+
+}  // namespace soma
+
+#endif  // SOMA_COMMON_TABLE_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the SoMa library.
+ */
+#ifndef SOMA_COMMON_TYPES_H
+#define SOMA_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace soma {
+
+/** Byte counts (tensor sizes, buffer budgets). */
+using Bytes = std::int64_t;
+
+/** Operation counts (MAC ops are counted as 2 ops, per marketing TOPS). */
+using Ops = std::int64_t;
+
+/** Cycle counts at the accelerator core clock. */
+using Cycles = std::int64_t;
+
+/** Identifier of a layer within a workload graph. */
+using LayerId = std::int32_t;
+
+/** Position of a compute tile in the serialized tile sequence. */
+using TilePos = std::int32_t;
+
+/** Sentinel for "no layer". */
+inline constexpr LayerId kNoLayer = -1;
+
+/** Sentinel tile position used for "before the first tile". */
+inline constexpr TilePos kBeforeFirstTile = 0;
+
+}  // namespace soma
+
+#endif  // SOMA_COMMON_TYPES_H

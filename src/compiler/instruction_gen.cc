@@ -1,0 +1,148 @@
+#include "compiler/instruction_gen.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace soma {
+
+std::string
+Instruction::ToText() const
+{
+    std::ostringstream os;
+    switch (op) {
+      case Opcode::kLoad: os << "LOAD  "; break;
+      case Opcode::kStore: os << "STORE "; break;
+      case Opcode::kCompute: os << "COMP  "; break;
+    }
+    os << id << " " << label;
+    if (op != Opcode::kCompute) os << " bytes=" << bytes;
+    if (!deps.empty()) {
+        os << " after=[";
+        for (std::size_t i = 0; i < deps.size(); ++i) {
+            if (i) os << ",";
+            os << deps[i];
+        }
+        os << "]";
+    }
+    return os.str();
+}
+
+int
+Program::NumLoads() const
+{
+    return static_cast<int>(std::count_if(
+        instructions.begin(), instructions.end(),
+        [](const Instruction &i) { return i.op == Opcode::kLoad; }));
+}
+
+int
+Program::NumStores() const
+{
+    return static_cast<int>(std::count_if(
+        instructions.begin(), instructions.end(),
+        [](const Instruction &i) { return i.op == Opcode::kStore; }));
+}
+
+int
+Program::NumComputes() const
+{
+    return static_cast<int>(std::count_if(
+        instructions.begin(), instructions.end(),
+        [](const Instruction &i) { return i.op == Opcode::kCompute; }));
+}
+
+bool
+Program::DepsAcyclic() const
+{
+    for (const Instruction &i : instructions) {
+        for (int d : i.deps) {
+            if (d < 0 || d >= i.id) return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Program::ToText() const
+{
+    std::ostringstream os;
+    for (const Instruction &i : instructions) os << i.ToText() << "\n";
+    return os.str();
+}
+
+Program
+GenerateInstructions(const IrModule &ir)
+{
+    Program prog;
+    const int T = static_cast<int>(ir.tiles.size());
+    const int D = static_cast<int>(ir.tensors.size());
+
+    // Instruction ids assigned in emission order: we interleave the two
+    // serial streams by "need position" so the text reads like the
+    // execution (emission order does not constrain the hardware, the
+    // deps do).
+    std::vector<int> tile_instr(T, -1), tensor_instr(D, -1);
+
+    // Stores indexed by End: tile i depends on stores with End == i.
+    std::vector<std::vector<int>> stores_by_end(T + 1);
+    for (int r = 0; r < D; ++r) {
+        if (!ir.tensors[r].is_load) {
+            int end = std::clamp<int>(ir.tensors[r].end, 0, T);
+            stores_by_end[end].push_back(r);
+        }
+    }
+
+    int next_tensor = 0;
+    auto emit_tensor = [&](int r) {
+        const IrTensor &t = ir.tensors[r];
+        Instruction instr;
+        instr.op = t.is_load ? Opcode::kLoad : Opcode::kStore;
+        instr.id = static_cast<int>(prog.instructions.size());
+        instr.label = t.label;
+        instr.bytes = t.bytes;
+        if (r > 0 && tensor_instr[r - 1] >= 0)
+            instr.deps.push_back(tensor_instr[r - 1]);  // serial channel
+        if (t.is_load) {
+            if (t.start > 0 && tile_instr[t.start - 1] >= 0)
+                instr.deps.push_back(tile_instr[t.start - 1]);
+        } else {
+            if (t.start < T && tile_instr[t.start] >= 0)
+                instr.deps.push_back(tile_instr[t.start]);
+        }
+        tensor_instr[r] = instr.id;
+        prog.instructions.push_back(std::move(instr));
+    };
+
+    for (int i = 0; i < T; ++i) {
+        // Emit DRAM tensors whose trigger tile precedes tile i.
+        while (next_tensor < D) {
+            const IrTensor &t = ir.tensors[next_tensor];
+            TilePos trigger = t.is_load ? t.start : t.start + 1;
+            if (trigger > i) break;
+            emit_tensor(next_tensor++);
+        }
+
+        Instruction instr;
+        instr.op = Opcode::kCompute;
+        instr.id = static_cast<int>(prog.instructions.size());
+        instr.label = ir.tiles[i].layer + "#" +
+                      std::to_string(ir.tiles[i].round);
+        if (i > 0) instr.deps.push_back(tile_instr[i - 1]);
+        for (int r : ir.tile_deps[i]) {
+            if (tensor_instr[r] < 0) emit_tensor(r);  // safety: force emit
+            // (re-read the id; emit_tensor may have grown the program)
+        }
+        // Re-create the instruction id after potential forced emissions.
+        instr.id = static_cast<int>(prog.instructions.size());
+        for (int r : ir.tile_deps[i]) instr.deps.push_back(tensor_instr[r]);
+        for (int r : stores_by_end[i]) {
+            if (tensor_instr[r] >= 0) instr.deps.push_back(tensor_instr[r]);
+        }
+        tile_instr[i] = instr.id;
+        prog.instructions.push_back(std::move(instr));
+    }
+    while (next_tensor < D) emit_tensor(next_tensor++);
+    return prog;
+}
+
+}  // namespace soma

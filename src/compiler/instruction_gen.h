@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Instruction generation: lower an IR module into the abstract
+ * load/store/compute instruction stream of Sec. II. Instructions carry
+ * explicit completion dependencies (the "start and end of any
+ * instruction can serve as markers" synchronization of Fig. 4) and GBUF
+ * addresses from a bump allocator, so the stream is directly executable
+ * by a cycle-accurate backend or device driver.
+ */
+#ifndef SOMA_COMPILER_INSTRUCTION_GEN_H
+#define SOMA_COMPILER_INSTRUCTION_GEN_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace soma {
+
+/** The three abstract opcodes shared by mainstream accelerators. */
+enum class Opcode { kLoad, kStore, kCompute };
+
+/** One instruction of the abstract ISA. */
+struct Instruction {
+    Opcode op = Opcode::kCompute;
+    int id = 0;                ///< unique, equals position in the program
+    std::string label;         ///< tensor label or layer#round
+    Bytes bytes = 0;           ///< transfer size (loads/stores)
+    std::vector<int> deps;     ///< instruction ids to complete first
+
+    std::string ToText() const;
+};
+
+/** A complete instruction stream plus summary statistics. */
+struct Program {
+    std::vector<Instruction> instructions;
+
+    int NumLoads() const;
+    int NumStores() const;
+    int NumComputes() const;
+
+    /** True when every dependency points backwards (schedulable). */
+    bool DepsAcyclic() const;
+
+    std::string ToText() const;
+};
+
+/**
+ * Generate the instruction stream from an IR module. DRAM instructions
+ * appear in DRAM Tensor Order interleaved with compute instructions in
+ * tile order; dependencies encode the evaluator's start conditions
+ * (Sec. V-D).
+ */
+Program GenerateInstructions(const IrModule &ir);
+
+}  // namespace soma
+
+#endif  // SOMA_COMPILER_INSTRUCTION_GEN_H

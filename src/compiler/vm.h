@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Instruction-stream virtual machine.
+ *
+ * Executes a generated Program on the abstract machine of Sec. II — one
+ * serial DRAM channel and one serial core-array pipeline — honoring only
+ * the explicit instruction dependencies. Because the dependencies are
+ * supposed to encode exactly the evaluator's start conditions
+ * (Sec. V-D), the VM's makespan must equal the evaluator's latency; the
+ * cross-check catches any divergence between the compiler back-end and
+ * the analytical model (the role the paper's ZEBU FPGA platform plays
+ * for their compiler).
+ */
+#ifndef SOMA_COMPILER_VM_H
+#define SOMA_COMPILER_VM_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/instruction_gen.h"
+#include "hw/hardware.h"
+
+namespace soma {
+
+/** Execution record of one instruction. */
+struct VmEvent {
+    double start = 0.0;
+    double finish = 0.0;
+};
+
+/** Result of executing a Program. */
+struct VmResult {
+    bool ok = false;
+    std::string error;
+    double makespan = 0.0;
+    double dram_busy = 0.0;
+    double core_busy = 0.0;
+    std::vector<VmEvent> events;  ///< indexed by instruction id
+};
+
+/**
+ * Execute @p prog: DRAM instructions issue in program order on the DRAM
+ * unit, computes in program order on the core unit; an instruction
+ * starts at max(unit free, dependency finishes). Durations: transfers
+ * take bytes / DRAM bandwidth; computes take the tile seconds recorded
+ * in the IR (@p compute_seconds, indexed by compute ordinal).
+ */
+VmResult ExecuteProgram(const Program &prog,
+                        const std::vector<double> &compute_seconds,
+                        const HardwareConfig &hw);
+
+/** Convenience: run the IR through instruction generation + the VM. */
+VmResult ExecuteIr(const IrModule &ir, const HardwareConfig &hw);
+
+}  // namespace soma
+
+#endif  // SOMA_COMPILER_VM_H

@@ -1,0 +1,376 @@
+#include "notation/parser.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+namespace soma {
+
+std::string
+DramTensor::Label(const Graph &graph) const
+{
+    std::string base;
+    switch (kind) {
+      case DramTensorKind::kWeight:
+        base = "W:" + graph.layer(layer).name();
+        break;
+      case DramTensorKind::kIfmap:
+        base = "I:" + graph.layer(layer).name();
+        break;
+      case DramTensorKind::kOfmap:
+        base = "O:" + graph.layer(layer).name();
+        break;
+    }
+    if (round >= 0) base += "#" + std::to_string(round);
+    return base;
+}
+
+TilePos
+ParsedSchedule::FreePointMin(int j) const
+{
+    const DramTensor &t = tensors[j];
+    return t.IsLoad() ? 0 : t.first_use + 1;
+}
+
+TilePos
+ParsedSchedule::FreePointMax(int j) const
+{
+    const DramTensor &t = tensors[j];
+    return t.IsLoad() ? t.first_use : NumTiles();
+}
+
+Bytes
+ParsedSchedule::TotalDramBytes() const
+{
+    Bytes total = 0;
+    for (const DramTensor &t : tensors) total += t.bytes;
+    return total;
+}
+
+double
+ParsedSchedule::TotalComputeSeconds() const
+{
+    double total = 0.0;
+    for (const TileInfo &t : tiles) total += t.cost.seconds;
+    return total;
+}
+
+namespace {
+
+/** Producer shape lookup covering both graph layers and external refs. */
+void
+ProducerShape(const Graph &graph, const InputRef &in, int *c, int *h, int *w)
+{
+    if (in.producer == kNoLayer) {
+        *c = in.ext.channels;
+        *h = in.ext.height;
+        *w = in.ext.width;
+    } else {
+        const Layer &p = graph.layer(in.producer);
+        *c = p.outChannels();
+        *h = p.outHeight();
+        *w = p.outWidth();
+    }
+}
+
+}  // namespace
+
+ParsedSchedule
+ParseLfa(const Graph &graph, const LfaEncoding &lfa,
+         CoreArrayEvaluator &core_eval, const ParseOptions &popts)
+{
+    ParsedSchedule out;
+    if (!lfa.StructurallyValid(graph, &out.why_invalid)) return out;
+
+    const int n = graph.NumLayers();
+    out.num_flgs = lfa.NumFlgs();
+    out.num_lgs = lfa.NumLgs();
+
+    // Per-layer placement metadata.
+    std::vector<int> flg_of_layer(n, -1), lg_of_layer(n, -1);
+    std::vector<int> idx_in_flg(n, -1);
+    std::vector<std::vector<LayerId>> flg_layers(lfa.NumFlgs());
+    for (int g = 0; g < lfa.NumFlgs(); ++g) {
+        int begin, end;
+        lfa.FlgRange(g, &begin, &end);
+        for (int p = begin; p < end; ++p) {
+            LayerId id = lfa.order[p];
+            flg_of_layer[id] = g;
+            lg_of_layer[id] = lfa.LgOfPos(p);
+            idx_in_flg[id] = p - begin;
+            flg_layers[g].push_back(id);
+        }
+    }
+
+    // Tile the FLGs (backward halo propagation).
+    std::vector<FlgTiling> tilings(lfa.NumFlgs());
+    for (int g = 0; g < lfa.NumFlgs(); ++g) {
+        tilings[g] = ComputeFlgTiling(graph, flg_layers[g], lfa.tiling[g]);
+        if (!tilings[g].valid) {
+            out.why_invalid = "tiling " + std::to_string(lfa.tiling[g]) +
+                              " infeasible for FLG " + std::to_string(g);
+            return out;
+        }
+    }
+
+    // Serialize the compute sequence: per FLG, round-robin over rounds.
+    {
+        std::size_t total_tiles = 0;
+        for (int g = 0; g < lfa.NumFlgs(); ++g)
+            total_tiles += flg_layers[g].size() *
+                           static_cast<std::size_t>(lfa.tiling[g]);
+        out.tiles.reserve(total_tiles);
+    }
+    std::vector<std::vector<TilePos>> pos_of(n);
+    for (int g = 0; g < lfa.NumFlgs(); ++g) {
+        const int rounds = lfa.tiling[g];
+        const auto &layers = flg_layers[g];
+        for (LayerId id : layers) pos_of[id].resize(rounds);
+        for (int t = 0; t < rounds; ++t) {
+            for (std::size_t i = 0; i < layers.size(); ++i) {
+                LayerId id = layers[i];
+                TileInfo tile;
+                tile.layer = id;
+                tile.flg = g;
+                tile.lg = lg_of_layer[id];
+                tile.round = t;
+                tile.region = tilings[g].regions[i][t];
+                assert(!tile.region.Empty());
+                tile.cost = core_eval.Evaluate(id, tile.region);
+                pos_of[id][t] = static_cast<TilePos>(out.tiles.size());
+                out.tiles.push_back(std::move(tile));
+            }
+        }
+    }
+
+    // LG extents in tile-position space.
+    std::vector<TilePos> lg_first(lfa.NumLgs(), INT32_MAX);
+    std::vector<TilePos> lg_last(lfa.NumLgs(), -1);
+    for (int i = 0; i < out.NumTiles(); ++i) {
+        lg_first[out.tiles[i].lg] = std::min(lg_first[out.tiles[i].lg],
+                                             static_cast<TilePos>(i));
+        lg_last[out.tiles[i].lg] = std::max(lg_last[out.tiles[i].lg],
+                                            static_cast<TilePos>(i));
+    }
+
+    // Enumerate DRAM tensors and on-chip reuse intervals.
+    std::vector<DramTensor> tensors;
+
+    for (LayerId id = 0; id < n; ++id) {
+        const Layer &l = graph.layer(id);
+        const int g = flg_of_layer[id];
+        const int lg = lg_of_layer[id];
+        const int rounds = lfa.tiling[g];
+        const TilePos lg_begin = lg_first[lg];
+        const TilePos lg_end = lg_last[lg] + 1;
+
+        // Weights: one load per layer. SoMa releases them right after
+        // the layer's last tile; Cocco semantics hold them to LG end.
+        if (l.weightBytes() > 0) {
+            DramTensor t;
+            t.kind = DramTensorKind::kWeight;
+            t.layer = id;
+            t.bytes = l.weightBytes();
+            t.first_use = pos_of[id][0];
+            t.fixed_end = popts.lg_resident_weights
+                              ? lg_end
+                              : pos_of[id][rounds - 1] + 1;
+            t.lg_begin = lg_begin;
+            t.lg_end = lg_end;
+            tensors.push_back(t);
+        }
+
+        // Ifmaps: external inputs and cross-LG producers load per tile.
+        const auto &ins = l.inputs();
+        for (int k = 0; k < static_cast<int>(ins.size()); ++k) {
+            const InputRef &in = ins[k];
+            bool from_dram =
+                (in.producer == kNoLayer) ||
+                (lg_of_layer[in.producer] != lg_of_layer[id]);
+            if (!from_dram) continue;
+            int pc, ph, pw;
+            ProducerShape(graph, in, &pc, &ph, &pw);
+            const auto &regions = tilings[g].regions[idx_in_flg[id]];
+            Region prev_need;
+            int prev_tensor = -1;
+            for (int t = 0; t < rounds; ++t) {
+                Region need =
+                    l.RequiredInputRegion(in, regions[t], ph, pw);
+                if (prev_tensor >= 0 && need == prev_need) {
+                    // Identical region as the previous round (kFull
+                    // operands like KV caches): the data is already in
+                    // the GBUF — extend the residency, don't re-load.
+                    tensors[prev_tensor].fixed_end = pos_of[id][t] + 1;
+                    continue;
+                }
+                DramTensor dt;
+                dt.kind = DramTensorKind::kIfmap;
+                dt.layer = id;
+                dt.src_layer = in.producer;
+                dt.round = t;
+                dt.input_index = k;
+                dt.bytes = need.Sites() * pc * l.elemBytes();
+                dt.first_use = pos_of[id][t];
+                dt.fixed_end = pos_of[id][t] + 1;
+                dt.lg_begin = lg_begin;
+                dt.lg_end = lg_end;
+                if (dt.bytes > 0) {
+                    prev_need = need;
+                    prev_tensor = static_cast<int>(tensors.size());
+                    tensors.push_back(dt);
+                }
+            }
+        }
+
+        // Ofmaps: stored when the layer is a network output or feeds a
+        // later LG. The canonical (non-overlapping) slice is stored.
+        bool stores = l.isNetworkOutput();
+        for (const Edge &e : graph.Consumers(id)) {
+            if (lg_of_layer[e.consumer] != lg_of_layer[id]) stores = true;
+        }
+        if (stores) {
+            for (int t = 0; t < rounds; ++t) {
+                Region slice =
+                    CanonicalSlice(tilings[g].split, t, graph.batch(),
+                                   l.outHeight(), l.outWidth());
+                DramTensor dt;
+                dt.kind = DramTensorKind::kOfmap;
+                dt.layer = id;
+                dt.round = t;
+                dt.bytes = l.OutputBytes(slice);
+                dt.first_use = pos_of[id][t];
+                dt.fixed_end = 0;  // End is the DLSA knob
+                dt.lg_begin = lg_begin;
+                dt.lg_end = lg_end;
+                if (dt.bytes > 0) tensors.push_back(dt);
+            }
+        }
+
+        // On-chip intervals. Same-FLG consumers: the producer's round-t
+        // tile lives from its production to its last in-FLG consumption.
+        for (int t = 0; t < rounds; ++t) {
+            TilePos last_same_flg = -1;
+            for (const Edge &e : graph.Consumers(id)) {
+                if (flg_of_layer[e.consumer] == g) {
+                    last_same_flg = std::max(last_same_flg,
+                                             pos_of[e.consumer][t]);
+                }
+            }
+            if (last_same_flg >= 0) {
+                OnchipInterval iv;
+                iv.from = pos_of[id][t];
+                iv.to = last_same_flg + 1;
+                iv.bytes = l.OutputBytes(
+                    tilings[g].regions[idx_in_flg[id]][t]);
+                iv.producer = id;
+                out.onchip.push_back(iv);
+            }
+        }
+        // Cross-FLG consumers within the same LG: the full ofmap is
+        // aggregated on chip from the producer's first tile until the
+        // last consuming tile.
+        TilePos last_cross_flg = -1;
+        for (const Edge &e : graph.Consumers(id)) {
+            if (flg_of_layer[e.consumer] != g &&
+                lg_of_layer[e.consumer] == lg_of_layer[id]) {
+                const int c_rounds = lfa.tiling[flg_of_layer[e.consumer]];
+                last_cross_flg = std::max(
+                    last_cross_flg, pos_of[e.consumer][c_rounds - 1]);
+            }
+        }
+        if (last_cross_flg >= 0) {
+            OnchipInterval iv;
+            iv.from = pos_of[id][0];
+            iv.to = last_cross_flg + 1;
+            iv.bytes = l.PerSampleOutputBytes() * graph.batch();
+            iv.producer = id;
+            out.onchip.push_back(iv);
+        }
+    }
+
+    // Canonical tensor order: by need position; at equal positions
+    // weights, then ifmaps, then stores. Counting sort (keys are dense
+    // tile positions; a comparison sort dominates parse time on large
+    // unfused schemes).
+    {
+        auto key = [&](const DramTensor &t) {
+            int k = t.kind == DramTensorKind::kWeight ? 0
+                    : t.kind == DramTensorKind::kIfmap ? 1
+                                                       : 2;
+            return static_cast<std::size_t>(t.first_use) * 3 + k;
+        };
+        const std::size_t buckets =
+            static_cast<std::size_t>(out.NumTiles()) * 3 + 1;
+        std::vector<int> count(buckets + 1, 0);
+        for (const DramTensor &t : tensors) ++count[key(t) + 1];
+        for (std::size_t i = 1; i <= buckets; ++i) count[i] += count[i - 1];
+        out.tensors.resize(tensors.size());
+        for (const DramTensor &t : tensors)
+            out.tensors[count[key(t)]++] = t;
+    }
+
+    // Attach load dependencies to tiles.
+    for (int j = 0; j < out.NumTensors(); ++j) {
+        const DramTensor &t = out.tensors[j];
+        if (t.IsLoad()) out.tiles[t.first_use].need_loads.push_back(j);
+    }
+
+    out.valid = true;
+    return out;
+}
+
+bool
+DlsaValid(const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
+          std::string *why)
+{
+    auto fail = [&](const char *msg) {
+        if (why) *why = msg;
+        return false;
+    };
+    const int d = parsed.NumTensors();
+    if (static_cast<int>(dlsa.order.size()) != d ||
+        static_cast<int>(dlsa.free_point.size()) != d) {
+        return fail("dlsa arity mismatch");
+    }
+    std::vector<char> seen(d, 0);
+    for (int j : dlsa.order) {
+        if (j < 0 || j >= d || seen[j]) return fail("order not a permutation");
+        seen[j] = 1;
+    }
+    for (int j = 0; j < d; ++j) {
+        if (dlsa.free_point[j] < parsed.FreePointMin(j) ||
+            dlsa.free_point[j] > parsed.FreePointMax(j)) {
+            return fail("living duration out of range");
+        }
+    }
+    // Data existence: a cross-LG ifmap load must follow every store of
+    // its source layer in the DRAM order.
+    std::vector<int> rank(d, 0);
+    for (int r = 0; r < d; ++r) rank[dlsa.order[r]] = r;
+    // max store rank per source layer:
+    std::unordered_map<LayerId, int> max_store_rank;
+    for (int j = 0; j < d; ++j) {
+        const DramTensor &t = parsed.tensors[j];
+        if (t.kind == DramTensorKind::kOfmap) {
+            auto it = max_store_rank.find(t.layer);
+            if (it == max_store_rank.end()) {
+                max_store_rank[t.layer] = rank[j];
+            } else {
+                it->second = std::max(it->second, rank[j]);
+            }
+        }
+    }
+    for (int j = 0; j < d; ++j) {
+        const DramTensor &t = parsed.tensors[j];
+        if (t.kind == DramTensorKind::kIfmap && t.src_layer != kNoLayer) {
+            auto it = max_store_rank.find(t.src_layer);
+            if (it != max_store_rank.end() && rank[j] < it->second) {
+                return fail("ifmap load ordered before producer store");
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace soma

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Parsing the Tensor-centric Notation into concrete hardware behaviour
+ * (Sec. IV-A): stage 1 lowers the LFA into the serial tile compute
+ * sequence, the set of DRAM tensors, and the on-chip fmap buffer
+ * intervals; stage 2 (the DLSA, applied by the evaluator) supplies each
+ * DRAM tensor's order and Living Duration.
+ */
+#ifndef SOMA_NOTATION_PARSER_H
+#define SOMA_NOTATION_PARSER_H
+
+#include <string>
+#include <vector>
+
+#include "corearray/core_array.h"
+#include "notation/encoding.h"
+#include "tiling/tiler.h"
+#include "workload/graph.h"
+
+namespace soma {
+
+/** What a DRAM tensor is. Loads are weights/ifmaps; stores are ofmaps. */
+enum class DramTensorKind { kWeight, kIfmap, kOfmap };
+
+/**
+ * Parse-time semantic switches.
+ *
+ * lg_resident_weights reproduces Cocco's conservative buffer semantics:
+ * every weight stays resident until its whole Layer-fusion Group
+ * finishes. SoMa's default releases a weight right after the layer's
+ * last tile — the headroom the paper attributes to FLCs ("shuffling
+ * weights can save buffer space, enabling the fusion of more layers",
+ * Sec. VI-B1).
+ */
+struct ParseOptions {
+    bool lg_resident_weights = false;
+};
+
+/** One tensor that must move between DRAM and the GBUF. */
+struct DramTensor {
+    DramTensorKind kind = DramTensorKind::kWeight;
+    LayerId layer = kNoLayer;    ///< consumer (loads) / producer (stores)
+    LayerId src_layer = kNoLayer;///< ifmaps: cross-LG producer, or external
+    int round = -1;              ///< tile round within the FLG; -1: weights
+    int input_index = -1;        ///< ifmaps: which input slot of `layer`
+    Bytes bytes = 0;
+
+    /**
+     * Loads: the tile position that first requires the data (upper bound
+     * of the adjustable Start). Stores: the producing tile position (the
+     * fixed Start).
+     */
+    TilePos first_use = 0;
+
+    /**
+     * Loads: the fixed End — one past the last tile position using the
+     * data (release point). Stores: unused (the End is the DLSA knob).
+     */
+    TilePos fixed_end = 0;
+
+    /** Tile-position range [lg_begin, lg_end) of the owning layer's LG
+     *  (used by Cocco's group-granular prefetch heuristic). */
+    TilePos lg_begin = 0;
+    TilePos lg_end = 0;
+
+    bool IsLoad() const { return kind != DramTensorKind::kOfmap; }
+
+    /** "WA", "IC2", "OE1"-style label for execution-graph dumps. */
+    std::string Label(const Graph &graph) const;
+};
+
+/** One computing tile in the serialized compute sequence. */
+struct TileInfo {
+    LayerId layer = kNoLayer;
+    int flg = 0;
+    int lg = 0;
+    int round = 0;       ///< tile index within the FLG
+    Region region;       ///< ofmap region computed (halo included)
+    TileCost cost;
+    std::vector<int> need_loads;  ///< tensor ids to complete before start
+};
+
+/** GBUF bytes held during tile-position slots [from, to). */
+struct OnchipInterval {
+    TilePos from = 0;
+    TilePos to = 0;
+    Bytes bytes = 0;
+    LayerId producer = kNoLayer;
+};
+
+/**
+ * The LFA parse result: everything about a scheme except DRAM timing.
+ */
+struct ParsedSchedule {
+    bool valid = false;
+    std::string why_invalid;
+
+    std::vector<TileInfo> tiles;
+    std::vector<DramTensor> tensors;
+    std::vector<OnchipInterval> onchip;
+
+    int num_flgs = 0;
+    int num_lgs = 0;
+
+    int NumTiles() const { return static_cast<int>(tiles.size()); }
+    int NumTensors() const { return static_cast<int>(tensors.size()); }
+
+    /** Range of the adjustable Living Duration endpoint of tensor @p j:
+     *  Start in [0, first_use] for loads, End in (first_use, NumTiles]
+     *  for stores. */
+    TilePos FreePointMin(int j) const;
+    TilePos FreePointMax(int j) const;
+
+    /** Sum of all DRAM tensor bytes. */
+    Bytes TotalDramBytes() const;
+
+    /** Sum of all tile compute seconds. */
+    double TotalComputeSeconds() const;
+};
+
+/**
+ * Parse the LFA: build the tile sequence (per-tile regions from the
+ * backward halo propagation, costs from the core array evaluator), the
+ * DRAM tensor list in canonical order (sorted by need position; loads
+ * before stores at equal positions), and the on-chip reuse intervals.
+ * Returns an invalid schedule (with a reason) when the encoding cannot
+ * be realized.
+ */
+ParsedSchedule ParseLfa(const Graph &graph, const LfaEncoding &lfa,
+                        CoreArrayEvaluator &core_eval,
+                        const ParseOptions &popts = {});
+
+/**
+ * Validity of a DLSA against a parse: permutation arity, free points in
+ * range, and every cross-LG ifmap load ordered after all ofmap stores of
+ * its source layer.
+ */
+bool DlsaValid(const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
+               std::string *why = nullptr);
+
+}  // namespace soma
+
+#endif  // SOMA_NOTATION_PARSER_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Buffer Allocator (Sec. V-B): the outermost iteration that divides
+ * the GBUF between the two competing stages. Iteration 0 gives stage 1
+ * the whole buffer; each following iteration shrinks the stage-1 budget
+ * by shrink_frac of the first iteration's peak usage (BufferMax),
+ * leaving headroom for the DLSA stage's prefetching. Stops when two
+ * consecutive iterations fail to improve the best overall cost.
+ */
+#ifndef SOMA_SEARCH_BUFFER_ALLOCATOR_H
+#define SOMA_SEARCH_BUFFER_ALLOCATOR_H
+
+#include <vector>
+
+#include "search/dlsa_stage.h"
+#include "search/lfa_stage.h"
+
+namespace soma {
+
+/** Outer-loop hyperparameters. */
+struct BufferAllocatorOptions {
+    double shrink_frac = 0.10;  ///< a% of BufferMax removed per iteration
+    int max_iterations = 6;     ///< hard cap on outer iterations
+    int patience = 2;           ///< stop after this many non-improvements
+};
+
+/** The best complete scheme found by the two-stage search. */
+struct SomaSearchResult {
+    LfaEncoding lfa;
+    ParsedSchedule parsed;
+    DlsaEncoding dlsa;          ///< stage-2 DLSA of the best scheme
+    DlsaEncoding stage1_dlsa;   ///< double-buffer DLSA of the best scheme
+    EvalReport stage1_report;   ///< "Ours_1": before DLSA exploration
+    EvalReport report;          ///< "Ours_2": final
+    double cost = 0.0;
+    int outer_iterations = 0;
+    std::vector<double> iteration_costs;  ///< best total cost per iteration
+};
+
+/**
+ * Run the Buffer-Allocator-wrapped two-stage search.
+ */
+SomaSearchResult RunBufferAllocatedSearch(const Graph &graph,
+                                          const HardwareConfig &hw,
+                                          const LfaStageOptions &lfa_opts,
+                                          const DlsaStageOptions &dlsa_opts,
+                                          const BufferAllocatorOptions &opts,
+                                          Rng &rng);
+
+}  // namespace soma
+
+#endif  // SOMA_SEARCH_BUFFER_ALLOCATOR_H

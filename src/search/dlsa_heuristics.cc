@@ -1,0 +1,72 @@
+#include "search/dlsa_heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace soma {
+
+namespace {
+
+DlsaEncoding
+MakeWithSlack(const ParsedSchedule &parsed, TilePos load_lead,
+              TilePos store_lag)
+{
+    DlsaEncoding dlsa;
+    const int d = parsed.NumTensors();
+    dlsa.order.resize(d);
+    std::iota(dlsa.order.begin(), dlsa.order.end(), 0);
+    dlsa.free_point.resize(d);
+    for (int j = 0; j < d; ++j) {
+        const DramTensor &t = parsed.tensors[j];
+        if (t.IsLoad()) {
+            dlsa.free_point[j] =
+                std::clamp<TilePos>(t.first_use - load_lead,
+                                    parsed.FreePointMin(j),
+                                    parsed.FreePointMax(j));
+        } else {
+            dlsa.free_point[j] =
+                std::clamp<TilePos>(t.first_use + store_lag,
+                                    parsed.FreePointMin(j),
+                                    parsed.FreePointMax(j));
+        }
+    }
+    return dlsa;
+}
+
+}  // namespace
+
+DlsaEncoding
+MakeDoubleBufferDlsa(const ParsedSchedule &parsed)
+{
+    return MakeWithSlack(parsed, /*load_lead=*/1, /*store_lag=*/2);
+}
+
+DlsaEncoding
+MakeSlackDlsa(const ParsedSchedule &parsed, TilePos load_lead,
+              TilePos store_lag)
+{
+    return MakeWithSlack(parsed, load_lead, store_lag);
+}
+
+DlsaEncoding
+MakeLazyDlsa(const ParsedSchedule &parsed)
+{
+    return MakeWithSlack(parsed, /*load_lead=*/0, /*store_lag=*/1);
+}
+
+DlsaEncoding
+MakeCoccoDlsa(const ParsedSchedule &parsed)
+{
+    DlsaEncoding dlsa = MakeDoubleBufferDlsa(parsed);
+    for (int j = 0; j < parsed.NumTensors(); ++j) {
+        const DramTensor &t = parsed.tensors[j];
+        if (t.kind == DramTensorKind::kWeight) {
+            dlsa.free_point[j] =
+                std::clamp<TilePos>(t.lg_begin - 1, parsed.FreePointMin(j),
+                                    parsed.FreePointMax(j));
+        }
+    }
+    return dlsa;
+}
+
+}  // namespace soma

@@ -1,0 +1,153 @@
+#include "search/dlsa_stage.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "search/dlsa_heuristics.h"
+#include "sim/evaluator.h"
+
+namespace soma {
+
+namespace {
+
+/**
+ * Legal rank range for tensor @p j within @p order: cross-LG ifmap loads
+ * must stay after every store of their source layer; stores must stay
+ * before every load that reads them.
+ */
+void
+RankBounds(const ParsedSchedule &parsed, const std::vector<int> &order,
+           int j, int *lo, int *hi)
+{
+    const int d = static_cast<int>(order.size());
+    *lo = 0;
+    *hi = d - 1;
+    const DramTensor &t = parsed.tensors[j];
+    if (t.kind == DramTensorKind::kIfmap && t.src_layer != kNoLayer) {
+        for (int r = 0; r < d; ++r) {
+            const DramTensor &o = parsed.tensors[order[r]];
+            if (o.kind == DramTensorKind::kOfmap && o.layer == t.src_layer)
+                *lo = std::max(*lo, r + 1);
+        }
+    } else if (t.kind == DramTensorKind::kOfmap) {
+        for (int r = d - 1; r >= 0; --r) {
+            const DramTensor &o = parsed.tensors[order[r]];
+            if (o.kind == DramTensorKind::kIfmap && o.src_layer == t.layer)
+                *hi = std::min(*hi, r - 1);
+        }
+    }
+}
+
+struct TensorPicker {
+    std::vector<double> weights;
+    explicit TensorPicker(const ParsedSchedule &parsed)
+    {
+        weights.reserve(parsed.NumTensors());
+        for (const DramTensor &t : parsed.tensors)
+            weights.push_back(static_cast<double>(t.bytes));
+    }
+    int Pick(Rng &rng) const
+    {
+        int idx = rng.WeightedIndex(weights);
+        return idx < 0 ? 0 : idx;
+    }
+};
+
+bool
+MutateDlsa(const ParsedSchedule &parsed, const TensorPicker &picker,
+           const DlsaEncoding &cur, DlsaEncoding *next, Rng &rng)
+{
+    const int d = parsed.NumTensors();
+    if (d == 0) return false;
+    *next = cur;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        int j = picker.Pick(rng);
+        if (rng.Flip()) {
+            // Change DRAM Tensor Order: move j to another legal rank.
+            int cur_rank = -1;
+            for (int r = 0; r < d; ++r) {
+                if (next->order[r] == j) { cur_rank = r; break; }
+            }
+            assert(cur_rank >= 0);
+            int lo, hi;
+            RankBounds(parsed, next->order, j, &lo, &hi);
+            if (lo >= hi) continue;
+            int q = rng.UniformInt(lo, hi - 1);
+            if (q >= cur_rank) ++q;
+            if (q == cur_rank) continue;
+            if (q < cur_rank) {
+                std::rotate(next->order.begin() + q,
+                            next->order.begin() + cur_rank,
+                            next->order.begin() + cur_rank + 1);
+            } else {
+                std::rotate(next->order.begin() + cur_rank,
+                            next->order.begin() + cur_rank + 1,
+                            next->order.begin() + q + 1);
+            }
+            return true;
+        }
+        // Change Living Duration: re-draw the free endpoint.
+        TilePos lo = parsed.FreePointMin(j);
+        TilePos hi = parsed.FreePointMax(j);
+        if (lo >= hi) continue;
+        TilePos v = static_cast<TilePos>(rng.UniformInt(lo, hi));
+        if (v == next->free_point[j]) continue;
+        next->free_point[j] = v;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+DlsaStageResult
+RunDlsaStage(const Graph &graph, const HardwareConfig &hw,
+             const ParsedSchedule &parsed, const DlsaEncoding &initial,
+             Bytes buffer_budget, const DlsaStageOptions &opts, Rng &rng)
+{
+    const Ops total_ops = graph.TotalOps();
+    TensorPicker picker(parsed);
+
+    auto evaluate = [&](const DlsaEncoding &dlsa) -> double {
+        EvalReport rep = EvaluateSchedule(graph, hw, parsed, dlsa,
+                                          buffer_budget, total_ops);
+        return rep.Cost(opts.cost_n, opts.cost_m);
+    };
+
+    DlsaStageResult result;
+    result.dlsa = initial;
+    result.cost = evaluate(initial);
+
+    // Heuristic seeds: deeper uniform prefetch leads when the buffer
+    // allows (the "push weights forward" move). The SA then refines the
+    // best starting point.
+    for (TilePos lead : {2, 4, 8, 16, 32}) {
+        for (TilePos lag : {2, 4}) {
+            DlsaEncoding cand = MakeSlackDlsa(parsed, lead, lag);
+            double cand_cost = evaluate(cand);
+            if (cand_cost < result.cost) {
+                result.dlsa = std::move(cand);
+                result.cost = cand_cost;
+            }
+        }
+    }
+
+    SaOptions sa = opts.sa;
+    sa.iterations = std::min<std::int64_t>(
+        opts.max_iterations,
+        static_cast<std::int64_t>(opts.beta) *
+            std::max(1, parsed.NumTensors()));
+
+    std::function<bool(const DlsaEncoding &, DlsaEncoding *, Rng &)> mut =
+        [&](const DlsaEncoding &cur, DlsaEncoding *next, Rng &r) {
+            return MutateDlsa(parsed, picker, cur, next, r);
+        };
+    std::function<double(const DlsaEncoding &)> eval = evaluate;
+    result.stats = RunSa<DlsaEncoding>(&result.dlsa, &result.cost, mut, eval,
+                                       sa, rng);
+    result.report = EvaluateSchedule(graph, hw, parsed, result.dlsa,
+                                     buffer_budget, total_ops);
+    return result;
+}
+
+}  // namespace soma

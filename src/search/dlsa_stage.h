@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The DLSA exploration stage (Sec. V-C2): simulated annealing over DRAM
+ * Tensor Order and Living Durations for a fixed LFA, starting from the
+ * double-buffer solution. Tensors are picked with probability
+ * proportional to their size.
+ */
+#ifndef SOMA_SEARCH_DLSA_STAGE_H
+#define SOMA_SEARCH_DLSA_STAGE_H
+
+#include "notation/encoding.h"
+#include "notation/parser.h"
+#include "search/sa.h"
+#include "sim/report.h"
+
+namespace soma {
+
+/** Hyperparameters of the DLSA stage. */
+struct DlsaStageOptions {
+    int beta = 1000;            ///< iterations = beta * num_tensors
+    int max_iterations = 20000; ///< scaled-down cap (see DESIGN.md)
+    double cost_n = 1.0;
+    double cost_m = 1.0;
+    SaOptions sa;
+};
+
+/** Best DLSA found for the given parse. */
+struct DlsaStageResult {
+    DlsaEncoding dlsa;
+    EvalReport report;
+    double cost = 0.0;
+    SaStats stats;
+};
+
+/**
+ * Run the DLSA stage over @p parsed with the full hardware budget
+ * @p buffer_budget, starting from @p initial.
+ */
+DlsaStageResult RunDlsaStage(const Graph &graph, const HardwareConfig &hw,
+                             const ParsedSchedule &parsed,
+                             const DlsaEncoding &initial,
+                             Bytes buffer_budget,
+                             const DlsaStageOptions &opts, Rng &rng);
+
+}  // namespace soma
+
+#endif  // SOMA_SEARCH_DLSA_STAGE_H

@@ -1,0 +1,26 @@
+#include "search/sa.h"
+
+#include <cmath>
+
+namespace soma {
+
+double
+SaTemperature(const SaOptions &opts, int n)
+{
+    double frac = static_cast<double>(n) / std::max(1, opts.iterations);
+    return opts.t0 * (1.0 - frac) / (1.0 + opts.alpha * frac);
+}
+
+bool
+SaAccept(double c, double c_new, double temperature, bool greedy, Rng &rng)
+{
+    if (std::isinf(c)) return std::isfinite(c_new);
+    if (c_new <= c) return true;
+    if (greedy || std::isinf(c_new) || temperature <= 0.0) return false;
+    // p = exp((c - c') / (c * Tn)); c > 0 because costs are
+    // energy x delay products of real schedules.
+    double p = std::exp((c - c_new) / (c * temperature));
+    return rng.UniformReal() < p;
+}
+
+}  // namespace soma

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The simulated-annealing engine shared by both exploration stages and
+ * the Cocco baseline (Sec. V-C): temperature schedule
+ * Tn = T0 * (1 - n/N) / (1 + alpha * n/N), acceptance probability
+ * p = exp((c - c') / (c * Tn)) for worse candidates.
+ */
+#ifndef SOMA_SEARCH_SA_H
+#define SOMA_SEARCH_SA_H
+
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace soma {
+
+/** Annealing hyperparameters. */
+struct SaOptions {
+    int iterations = 1000;   ///< N
+    double t0 = 0.2;         ///< initial temperature
+    double alpha = 4.0;      ///< cooling rate
+    /** Fraction of trailing iterations that accept improvements only
+     *  (the paper's post-deadline greedy phase). */
+    double greedy_tail = 0.1;
+};
+
+/** Temperature at iteration @p n of @p total. */
+double SaTemperature(const SaOptions &opts, int n);
+
+/** Whether to accept a move from cost @p c to cost @p c_new. */
+bool SaAccept(double c, double c_new, double temperature, bool greedy,
+              Rng &rng);
+
+/** Bookkeeping returned by RunSa. */
+struct SaStats {
+    int iterations = 0;
+    int accepted = 0;
+    int improved = 0;
+    double initial_cost = std::numeric_limits<double>::infinity();
+    double best_cost = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Generic annealer. @p mutate proposes a neighbour (returning false to
+ * signal "no move possible"); @p evaluate returns the cost (+inf for
+ * invalid schemes, which are then rejected unless the current state is
+ * itself invalid). Keeps and returns the best state ever seen.
+ */
+template <typename State>
+SaStats
+RunSa(State *state, double *cost,
+      const std::function<bool(const State &, State *, Rng &)> &mutate,
+      const std::function<double(const State &)> &evaluate,
+      const SaOptions &opts, Rng &rng)
+{
+    SaStats stats;
+    stats.initial_cost = *cost;
+    State best = *state;
+    double best_cost = *cost;
+    State current = *state;
+    double current_cost = *cost;
+
+    const int greedy_from =
+        opts.iterations - static_cast<int>(opts.iterations *
+                                           opts.greedy_tail);
+    for (int n = 0; n < opts.iterations; ++n) {
+        State candidate;
+        if (!mutate(current, &candidate, rng)) continue;
+        double cand_cost = evaluate(candidate);
+        ++stats.iterations;
+        double temp = SaTemperature(opts, n);
+        bool greedy = n >= greedy_from;
+        if (SaAccept(current_cost, cand_cost, temp, greedy, rng)) {
+            current = std::move(candidate);
+            current_cost = cand_cost;
+            ++stats.accepted;
+            if (current_cost < best_cost) {
+                best = current;
+                best_cost = current_cost;
+                ++stats.improved;
+            }
+        }
+    }
+    *state = std::move(best);
+    *cost = best_cost;
+    stats.best_cost = best_cost;
+    return stats;
+}
+
+}  // namespace soma
+
+#endif  // SOMA_SEARCH_SA_H

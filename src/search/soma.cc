@@ -1,0 +1,42 @@
+#include "search/soma.h"
+
+namespace soma {
+
+SomaOptions
+QuickSomaOptions(std::uint64_t seed)
+{
+    SomaOptions opts;
+    opts.seed = seed;
+    opts.lfa.beta = 10;
+    opts.lfa.max_iterations = 600;
+    opts.dlsa.beta = 10;
+    opts.dlsa.max_iterations = 1500;
+    opts.alloc.max_iterations = 2;
+    opts.Finalize();
+    return opts;
+}
+
+SomaOptions
+DefaultSomaOptions(std::uint64_t seed)
+{
+    SomaOptions opts;
+    opts.seed = seed;
+    opts.lfa.beta = 40;
+    opts.lfa.max_iterations = 6000;
+    opts.dlsa.beta = 40;
+    opts.dlsa.max_iterations = 8000;
+    opts.alloc.max_iterations = 3;
+    opts.Finalize();
+    return opts;
+}
+
+SomaSearchResult
+RunSoma(const Graph &graph, const HardwareConfig &hw, SomaOptions opts)
+{
+    opts.Finalize();
+    Rng rng(opts.seed);
+    return RunBufferAllocatedSearch(graph, hw, opts.lfa, opts.dlsa,
+                                    opts.alloc, rng);
+}
+
+}  // namespace soma

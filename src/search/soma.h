@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SoMa end-to-end driver (Fig. 5): model + hardware + framework configs
+ * in; best scheduling scheme, energy/latency report (and, through
+ * src/compiler, IR + instructions) out.
+ */
+#ifndef SOMA_SEARCH_SOMA_H
+#define SOMA_SEARCH_SOMA_H
+
+#include <cstdint>
+
+#include "search/buffer_allocator.h"
+
+namespace soma {
+
+/**
+ * Framework configuration: optimization goal Energy^n x Delay^m, search
+ * hyperparameters, seed. The default iteration budgets are scaled down
+ * from the paper's (beta_1=100, beta_2=1000 on a 192-core server) to
+ * laptop-friendly values; raise them for higher-fidelity runs.
+ */
+struct SomaOptions {
+    double cost_n = 1.0;
+    double cost_m = 1.0;
+    std::uint64_t seed = 1;
+
+    LfaStageOptions lfa;
+    DlsaStageOptions dlsa;
+    BufferAllocatorOptions alloc;
+
+    /** Propagate cost exponents into the stage options. */
+    void Finalize()
+    {
+        lfa.cost_n = cost_n;
+        lfa.cost_m = cost_m;
+        dlsa.cost_n = cost_n;
+        dlsa.cost_m = cost_m;
+    }
+};
+
+/** A quick profile for tests/examples: small SA budgets. */
+SomaOptions QuickSomaOptions(std::uint64_t seed = 1);
+
+/** The default evaluation profile used by the benches. */
+SomaOptions DefaultSomaOptions(std::uint64_t seed = 1);
+
+/** Run the full two-stage, buffer-allocated exploration. */
+SomaSearchResult RunSoma(const Graph &graph, const HardwareConfig &hw,
+                         SomaOptions opts);
+
+}  // namespace soma
+
+#endif  // SOMA_SEARCH_SOMA_H

@@ -1,0 +1,70 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace soma {
+
+void
+PrintExecutionGraph(std::ostream &os, const Graph &graph,
+                    const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
+                    const EvalReport &report, int max_rows)
+{
+    if (!report.valid) {
+        os << "<invalid schedule: " << report.why_invalid << ">\n";
+        return;
+    }
+
+    os << "# Execution graph (" << graph.name() << ", batch "
+       << graph.batch() << ")\n";
+    os << "# latency " << report.latency * 1e3 << " ms, energy "
+       << report.EnergyJ() * 1e3 << " mJ, LGs " << report.num_lgs
+       << ", FLGs " << report.num_flgs << ", tiles " << report.num_tiles
+       << ", DRAM tensors " << report.num_tensors << "\n";
+
+    // DRAM row: tensors in transfer order.
+    os << "\nDRAM row (order | label | bytes | start us | finish us | "
+          "Start/End tile)\n";
+    int rows = 0;
+    for (int r = 0; r < parsed.NumTensors() && rows < max_rows;
+         ++r, ++rows) {
+        int j = dlsa.order[r];
+        const DramTensor &t = parsed.tensors[j];
+        os << std::setw(5) << r << "  " << std::setw(20)
+           << t.Label(graph) << "  " << std::setw(10) << t.bytes << "  "
+           << std::setw(10) << std::fixed << std::setprecision(2)
+           << report.tensor_times[j].start * 1e6 << "  " << std::setw(10)
+           << report.tensor_times[j].finish * 1e6 << "  "
+           << (t.IsLoad() ? "S=" : "E=") << dlsa.free_point[j] << "\n";
+    }
+    if (parsed.NumTensors() > rows) {
+        os << "  ... (" << parsed.NumTensors() - rows << " more)\n";
+    }
+
+    // COMPUTE row: tiles with stalls.
+    os << "\nCOMPUTE row (pos | layer#round | LG/FLG | start us | finish "
+          "us | stall us)\n";
+    double prev_finish = 0.0;
+    rows = 0;
+    for (int i = 0; i < parsed.NumTiles() && rows < max_rows; ++i, ++rows) {
+        const TileInfo &tile = parsed.tiles[i];
+        double stall = report.tile_times[i].start - prev_finish;
+        prev_finish = report.tile_times[i].finish;
+        os << std::setw(5) << i << "  " << std::setw(24)
+           << (graph.layer(tile.layer).name() + "#" +
+               std::to_string(tile.round))
+           << "  " << tile.lg << "/" << tile.flg << "  " << std::setw(10)
+           << std::fixed << std::setprecision(2)
+           << report.tile_times[i].start * 1e6 << "  " << std::setw(10)
+           << report.tile_times[i].finish * 1e6 << "  " << std::setw(8)
+           << stall * 1e6 << (stall > 1e-9 ? "  <- stall" : "") << "\n";
+    }
+    if (parsed.NumTiles() > rows) {
+        os << "  ... (" << parsed.NumTiles() - rows << " more)\n";
+    }
+
+    os << "\nBUFFER peak " << report.peak_buffer << " bytes, avg "
+       << static_cast<Bytes>(report.avg_buffer) << " bytes\n";
+}
+
+}  // namespace soma

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plot-ready trace export: dump an evaluated schedule's compute tiles,
+ * DRAM tensors and per-slot buffer occupancy as CSV, so the Fig. 8
+ * execution graphs (and any custom analysis) can be rendered outside
+ * the library.
+ */
+#ifndef SOMA_SIM_TRACE_H
+#define SOMA_SIM_TRACE_H
+
+#include <ostream>
+
+#include "notation/parser.h"
+#include "sim/report.h"
+
+namespace soma {
+
+/**
+ * CSV with one row per compute tile:
+ * pos,layer,round,lg,flg,start_us,finish_us,stall_us,ops,bytes_out.
+ */
+void WriteComputeTraceCsv(std::ostream &os, const Graph &graph,
+                          const ParsedSchedule &parsed,
+                          const EvalReport &report);
+
+/**
+ * CSV with one row per DRAM tensor in transfer order:
+ * order,label,kind,bytes,start_us,finish_us,living_start,living_end.
+ */
+void WriteDramTraceCsv(std::ostream &os, const Graph &graph,
+                       const ParsedSchedule &parsed,
+                       const DlsaEncoding &dlsa, const EvalReport &report);
+
+/**
+ * CSV with one row per tile slot: slot,buffer_bytes — the BUFFER row of
+ * Fig. 4/Fig. 8.
+ */
+void WriteBufferTraceCsv(std::ostream &os, const ParsedSchedule &parsed,
+                         const DlsaEncoding &dlsa);
+
+}  // namespace soma
+
+#endif  // SOMA_SIM_TRACE_H

@@ -1,0 +1,122 @@
+#include "workload/layer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soma {
+
+bool
+IsMatrixKind(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::kConv:
+      case LayerKind::kDepthwise:
+      case LayerKind::kGemm:
+      case LayerKind::kMatmul:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+LayerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::kConv: return "conv";
+      case LayerKind::kDepthwise: return "dwconv";
+      case LayerKind::kPool: return "pool";
+      case LayerKind::kGlobalPool: return "gpool";
+      case LayerKind::kGemm: return "gemm";
+      case LayerKind::kMatmul: return "matmul";
+      case LayerKind::kEltwise: return "eltwise";
+      case LayerKind::kActivation: return "act";
+      case LayerKind::kLayerNorm: return "layernorm";
+      case LayerKind::kConcat: return "concat";
+    }
+    return "?";
+}
+
+bool
+LayerKindFromName(const std::string &name, LayerKind *kind)
+{
+    static const struct { const char *name; LayerKind kind; } kTable[] = {
+        {"conv", LayerKind::kConv},
+        {"dwconv", LayerKind::kDepthwise},
+        {"pool", LayerKind::kPool},
+        {"gpool", LayerKind::kGlobalPool},
+        {"gemm", LayerKind::kGemm},
+        {"matmul", LayerKind::kMatmul},
+        {"eltwise", LayerKind::kEltwise},
+        {"act", LayerKind::kActivation},
+        {"layernorm", LayerKind::kLayerNorm},
+        {"concat", LayerKind::kConcat},
+    };
+    for (const auto &entry : kTable) {
+        if (name == entry.name) {
+            *kind = entry.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+Layer::Layer(std::string name, LayerKind kind, int out_c, int out_h,
+             int out_w)
+    : name_(std::move(name)), kind_(kind), out_c_(out_c), out_h_(out_h),
+      out_w_(out_w)
+{
+}
+
+Region
+Layer::RequiredInputRegion(const InputRef &input, const Region &out_region,
+                           int prod_h, int prod_w) const
+{
+    if (out_region.Empty()) return Region{};
+    Region in;
+    in.b0 = out_region.b0;
+    in.b1 = out_region.b1;
+    switch (input.pattern) {
+      case AccessPattern::kRowAligned:
+        in.r0 = std::min(out_region.r0, prod_h);
+        in.r1 = std::min(out_region.r1, prod_h);
+        in.c0 = std::min(out_region.c0, prod_w);
+        in.c1 = std::min(out_region.c1, prod_w);
+        break;
+      case AccessPattern::kWindow: {
+        const WindowParams &w = window_;
+        in.r0 = std::max(0, out_region.r0 * w.stride_h - w.pad_h);
+        in.r1 = std::min(prod_h, (out_region.r1 - 1) * w.stride_h - w.pad_h +
+                                     w.kernel_h);
+        in.c0 = std::max(0, out_region.c0 * w.stride_w - w.pad_w);
+        in.c1 = std::min(prod_w, (out_region.c1 - 1) * w.stride_w - w.pad_w +
+                                     w.kernel_w);
+        // Degenerate clipping (padding-only windows) must still yield a
+        // non-empty region when the output region is non-empty.
+        in.r1 = std::max(in.r1, in.r0 + 1);
+        in.c1 = std::max(in.c1, in.c0 + 1);
+        in.r1 = std::min(in.r1, prod_h);
+        in.c1 = std::min(in.c1, prod_w);
+        in.r0 = std::min(in.r0, in.r1 - 1);
+        in.c0 = std::min(in.c0, in.c1 - 1);
+        break;
+      }
+      case AccessPattern::kFull:
+        in.r0 = 0;
+        in.r1 = prod_h;
+        in.c0 = 0;
+        in.c1 = prod_w;
+        break;
+    }
+    return in;
+}
+
+Bytes
+Layer::InputBytes(const InputRef &input, const Region &out_region, int prod_c,
+                  int prod_h, int prod_w) const
+{
+    Region in = RequiredInputRegion(input, out_region, prod_h, prod_w);
+    return in.Sites() * prod_c * elem_bytes_;
+}
+
+}  // namespace soma

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Inception-ResNet-v1 builder (Szegedy et al., AAAI'17).
+ *
+ * Represents the "wider, more complex structure" workload class of the
+ * paper. Block-internal topology is faithful (multi-branch inception
+ * units with residual 1x1 linear projections and concatenations); block
+ * repeat counts are mildly reduced (4xA, 7xB, 3xC instead of 5/10/5) to
+ * keep default search times laptop-friendly while preserving the wide
+ * DAG character that exercises computing-order exploration.
+ */
+#include "workload/models.h"
+
+#include "workload/graph_builder.h"
+
+namespace soma {
+
+namespace {
+
+/** Inception-ResNet-A: three branches at 35x35, 256 channels in/out. */
+LayerId
+BlockA(GraphBuilder &b, const std::string &p, LayerId in)
+{
+    LayerId b0 = b.Conv(p + ".b0", in, 32, 1, 1, 0);
+    LayerId b1a = b.Conv(p + ".b1a", in, 32, 1, 1, 0);
+    LayerId b1b = b.Conv(p + ".b1b", b1a, 32, 3, 1, 1);
+    LayerId b2a = b.Conv(p + ".b2a", in, 32, 1, 1, 0);
+    LayerId b2b = b.Conv(p + ".b2b", b2a, 32, 3, 1, 1);
+    LayerId b2c = b.Conv(p + ".b2c", b2b, 32, 3, 1, 1);
+    LayerId cat = b.Concat(p + ".cat", {b0, b1b, b2c});
+    LayerId up = b.Conv(p + ".up", cat, b.C(in), 1, 1, 0);
+    return b.Eltwise(p + ".add", {in, up});
+}
+
+/** Inception-ResNet-B: two branches at 17x17. */
+LayerId
+BlockB(GraphBuilder &b, const std::string &p, LayerId in)
+{
+    LayerId b0 = b.Conv(p + ".b0", in, 128, 1, 1, 0);
+    LayerId b1a = b.Conv(p + ".b1a", in, 128, 1, 1, 0);
+    // 1x7 then 7x1 factorized convs approximated as two 3x3s with the
+    // same channel plan (keeps the region math on square windows).
+    LayerId b1b = b.Conv(p + ".b1b", b1a, 128, 3, 1, 1);
+    LayerId b1c = b.Conv(p + ".b1c", b1b, 128, 3, 1, 1);
+    LayerId cat = b.Concat(p + ".cat", {b0, b1c});
+    LayerId up = b.Conv(p + ".up", cat, b.C(in), 1, 1, 0);
+    return b.Eltwise(p + ".add", {in, up});
+}
+
+/** Inception-ResNet-C: two branches at 8x8. */
+LayerId
+BlockC(GraphBuilder &b, const std::string &p, LayerId in)
+{
+    LayerId b0 = b.Conv(p + ".b0", in, 192, 1, 1, 0);
+    LayerId b1a = b.Conv(p + ".b1a", in, 192, 1, 1, 0);
+    LayerId b1b = b.Conv(p + ".b1b", b1a, 192, 3, 1, 1);
+    LayerId cat = b.Concat(p + ".cat", {b0, b1b});
+    LayerId up = b.Conv(p + ".up", cat, b.C(in), 1, 1, 0);
+    return b.Eltwise(p + ".add", {in, up});
+}
+
+}  // namespace
+
+Graph
+BuildInceptionResNetV1(int batch)
+{
+    GraphBuilder b("ires", batch);
+    ExtShape image{3, 299, 299};
+
+    // Stem.
+    LayerId x = b.InputConv("stem.conv1", image, 32, 3, 2, 0);   // 149
+    x = b.Conv("stem.conv2", x, 32, 3, 1, 0);                    // 147
+    x = b.Conv("stem.conv3", x, 64, 3, 1, 1);                    // 147
+    x = b.Pool("stem.pool1", x, 3, 2, 0);                        // 73
+    x = b.Conv("stem.conv4", x, 80, 1, 1, 0);
+    x = b.Conv("stem.conv5", x, 192, 3, 1, 0);                   // 71
+    x = b.Conv("stem.conv6", x, 256, 3, 2, 0);                   // 35
+
+    for (int i = 0; i < 4; ++i)
+        x = BlockA(b, "a" + std::to_string(i + 1), x);
+
+    // Reduction-A: 35 -> 17.
+    {
+        LayerId r0 = b.Pool("redA.pool", x, 3, 2, 0);
+        LayerId r1 = b.Conv("redA.b1", x, 384, 3, 2, 0);
+        LayerId r2a = b.Conv("redA.b2a", x, 192, 1, 1, 0);
+        LayerId r2b = b.Conv("redA.b2b", r2a, 192, 3, 1, 1);
+        LayerId r2c = b.Conv("redA.b2c", r2b, 256, 3, 2, 0);
+        x = b.Concat("redA.cat", {r0, r1, r2c});                 // 17, 896
+    }
+
+    for (int i = 0; i < 7; ++i)
+        x = BlockB(b, "b" + std::to_string(i + 1), x);
+
+    // Reduction-B: 17 -> 8.
+    {
+        LayerId r0 = b.Pool("redB.pool", x, 3, 2, 0);
+        LayerId r1a = b.Conv("redB.b1a", x, 256, 1, 1, 0);
+        LayerId r1b = b.Conv("redB.b1b", r1a, 384, 3, 2, 0);
+        LayerId r2a = b.Conv("redB.b2a", x, 256, 1, 1, 0);
+        LayerId r2b = b.Conv("redB.b2b", r2a, 256, 3, 2, 0);
+        LayerId r3a = b.Conv("redB.b3a", x, 256, 1, 1, 0);
+        LayerId r3b = b.Conv("redB.b3b", r3a, 256, 3, 1, 1);
+        LayerId r3c = b.Conv("redB.b3c", r3b, 256, 3, 2, 0);
+        x = b.Concat("redB.cat", {r0, r1b, r2b, r3c});           // 8, 1792
+    }
+
+    for (int i = 0; i < 3; ++i)
+        x = BlockC(b, "c" + std::to_string(i + 1), x);
+
+    LayerId gap = b.GlobalPool("gap", x);
+    LayerId fc = b.FcFull("fc", gap, 1000);
+    b.MarkOutput(fc);
+    return b.Take();
+}
+
+}  // namespace soma

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * RandWire builder (Xie et al., ICCV'19), small regime.
+ *
+ * Three randomly wired stages. Within a stage, a Watts-Strogatz-style
+ * random DAG is generated: nodes are placed on a ring with k=4 forward
+ * neighbours, and each edge is rewired to a random earlier node with
+ * probability p=0.75. Node operation = weighted input aggregation
+ * (eltwise) followed by a 3x3 separable-ish conv (we use a dense 3x3,
+ * matching the compute profile the paper's workload table implies).
+ * Deterministic for a fixed seed.
+ */
+#include "workload/models.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "workload/graph_builder.h"
+
+namespace soma {
+
+namespace {
+
+struct StageSpec {
+    int channels;
+    int height;
+};
+
+/** Generate the in-edges of each node in one random stage. */
+std::vector<std::vector<int>>
+RandomWiring(int nodes, Rng &rng)
+{
+    const int k = 4;
+    const double p = 0.75;
+    std::vector<std::vector<int>> preds(nodes);
+    for (int v = 1; v < nodes; ++v) {
+        int lo = std::max(0, v - k / 2);
+        for (int u = lo; u < v; ++u) {
+            int src = u;
+            if (rng.Flip(p)) src = rng.UniformInt(0, v - 1);
+            preds[v].push_back(src);
+        }
+        std::sort(preds[v].begin(), preds[v].end());
+        preds[v].erase(std::unique(preds[v].begin(), preds[v].end()),
+                       preds[v].end());
+        if (preds[v].empty()) preds[v].push_back(v - 1);
+    }
+    return preds;
+}
+
+}  // namespace
+
+Graph
+BuildRandWire(int batch, std::uint64_t seed, int nodes_per_stage)
+{
+    Rng rng(seed);
+    GraphBuilder b("randwire", batch);
+    ExtShape image{3, 224, 224};
+
+    LayerId x = b.InputConv("stem.conv1", image, 32, 3, 2, 1);   // 112
+    x = b.Conv("stem.conv2", x, 64, 3, 2, 1);                    // 56
+
+    const StageSpec stages[3] = {{64, 56}, {128, 28}, {256, 14}};
+    for (int s = 0; s < 3; ++s) {
+        std::string sp = "s" + std::to_string(s + 1);
+        // Stage entry: stride-2 conv into the stage channel width
+        // (stage 1 keeps 56x56).
+        int stride = (s == 0) ? 1 : 2;
+        LayerId entry = b.Conv(sp + ".entry", x, stages[s].channels, 3,
+                               stride, 1);
+        auto preds = RandomWiring(nodes_per_stage, rng);
+        std::vector<LayerId> node_out(nodes_per_stage, kNoLayer);
+        for (int v = 0; v < nodes_per_stage; ++v) {
+            std::string np = sp + ".n" + std::to_string(v);
+            LayerId agg;
+            if (v == 0) {
+                agg = entry;
+            } else if (preds[v].size() == 1) {
+                agg = node_out[preds[v][0]];
+            } else {
+                std::vector<LayerId> ins;
+                for (int u : preds[v]) ins.push_back(node_out[u]);
+                agg = b.Eltwise(np + ".agg", ins);
+            }
+            node_out[v] = b.Conv(np + ".conv", agg, stages[s].channels, 3, 1,
+                                 1);
+        }
+        // Stage exit aggregates every node with out-degree 0.
+        std::vector<bool> consumed(nodes_per_stage, false);
+        for (int v = 0; v < nodes_per_stage; ++v)
+            for (int u : preds[v]) consumed[u] = true;
+        std::vector<LayerId> sinks;
+        for (int v = 0; v < nodes_per_stage; ++v)
+            if (!consumed[v]) sinks.push_back(node_out[v]);
+        if (sinks.size() == 1) {
+            x = sinks[0];
+        } else {
+            x = b.Eltwise(sp + ".exit", sinks);
+        }
+    }
+
+    LayerId head = b.Conv("head.conv", x, 1280, 1, 1, 0);
+    LayerId gap = b.GlobalPool("gap", head);
+    LayerId fc = b.FcFull("fc", gap, 1000);
+    b.MarkOutput(fc);
+    return b.Take();
+}
+
+}  // namespace soma

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Transformer builders: Transformer-Large encoder (Fig. 3 workload) and
+ * GPT-2 Small/XL in prefill and decode phases (Sec. VI workloads).
+ *
+ * Token-major layout: rows = tokens (height), channels = hidden size.
+ * In decode, the per-block KV cache of past tokens is modeled as two
+ * external DRAM inputs of the attention matmuls (the paper's observation
+ * that decode latency is dominated by weight + KV cache loading follows
+ * directly), and the new K/V rows are network outputs appended to the
+ * cache.
+ */
+#include "workload/models.h"
+
+#include "workload/graph_builder.h"
+
+namespace soma {
+
+namespace {
+
+struct BlockShape {
+    int hidden;
+    int heads;
+    int ffn;
+    int q_rows;    ///< query tokens processed this pass
+    int kv_rows;   ///< total keys/values attended to
+    int past_rows; ///< keys/values loaded from the DRAM KV cache
+};
+
+/**
+ * One pre-norm transformer block. @p x is the residual stream input.
+ * K/V outputs are marked as network outputs when @p store_kv.
+ */
+LayerId
+TransformerBlock(GraphBuilder &b, const std::string &p, LayerId x,
+                 const BlockShape &s, bool store_kv)
+{
+    int dh = s.hidden / s.heads;
+    LayerId ln1 = b.LayerNormOp(p + ".ln1", x);
+    LayerId q = b.GemmRows(p + ".q", ln1, s.hidden);
+    LayerId k = b.GemmRows(p + ".k", ln1, s.hidden);
+    LayerId v = b.GemmRows(p + ".v", ln1, s.hidden);
+    if (store_kv) {
+        b.MarkOutput(k);
+        b.MarkOutput(v);
+    }
+
+    // scores[b, head, i, j] = q . k / sqrt(dh): one output element per
+    // (head, key) pair along channels, per query row.
+    LayerId scores = b.Matmul(p + ".qk", q, k, dh, s.heads * s.kv_rows);
+    if (s.past_rows > 0) {
+        b.AddExternalInput(scores, ExtShape{s.hidden, s.past_rows, 1});
+    }
+    LayerId probs = b.Act(p + ".softmax", scores, 5);
+    LayerId attn = b.Matmul(p + ".sv", probs, v, s.kv_rows, s.hidden);
+    if (s.past_rows > 0) {
+        b.AddExternalInput(attn, ExtShape{s.hidden, s.past_rows, 1});
+    }
+    LayerId proj = b.GemmRows(p + ".proj", attn, s.hidden);
+    LayerId add1 = b.Eltwise(p + ".add1", {x, proj});
+
+    LayerId ln2 = b.LayerNormOp(p + ".ln2", add1);
+    LayerId ff1 = b.GemmRows(p + ".ff1", ln2, s.ffn);
+    LayerId gelu = b.Act(p + ".gelu", ff1, 8);
+    LayerId ff2 = b.GemmRows(p + ".ff2", gelu, s.hidden);
+    return b.Eltwise(p + ".add2", {add1, ff2});
+}
+
+/** Embedding stand-in: token-wise projection reading the input tokens. */
+LayerId
+EmbeddingStub(GraphBuilder &b, int hidden, int rows)
+{
+    Layer l("embed", LayerKind::kEltwise, hidden, rows, 1);
+    l.setOpsPerElement(1);
+    l.addInput(InputRef{kNoLayer, AccessPattern::kRowAligned,
+                        ExtShape{hidden, rows, 1}});
+    return b.graph().AddLayer(std::move(l));
+}
+
+Graph
+BuildDecoderStack(const std::string &name, const Gpt2Config &cfg, int batch,
+                  int q_rows, int kv_rows, int past_rows, bool store_kv)
+{
+    GraphBuilder b(name, batch);
+    LayerId x = EmbeddingStub(b, cfg.hidden, q_rows);
+    BlockShape s{cfg.hidden, cfg.heads, cfg.ffn, q_rows, kv_rows, past_rows};
+    for (int i = 0; i < cfg.layers; ++i)
+        x = TransformerBlock(b, "blk" + std::to_string(i), x, s, store_kv);
+    LayerId lnf = b.LayerNormOp("ln_f", x);
+    b.MarkOutput(lnf);
+    return b.Take();
+}
+
+}  // namespace
+
+Gpt2Config
+Gpt2Small()
+{
+    return Gpt2Config{12, 768, 12, 3072};
+}
+
+Gpt2Config
+Gpt2Xl()
+{
+    return Gpt2Config{48, 1600, 25, 6400};
+}
+
+Graph
+BuildGpt2Prefill(const Gpt2Config &cfg, int batch, int seq_len)
+{
+    return BuildDecoderStack("gpt2-prefill", cfg, batch, seq_len, seq_len,
+                             /*past_rows=*/0, /*store_kv=*/true);
+}
+
+Graph
+BuildGpt2Decode(const Gpt2Config &cfg, int batch, int past_len)
+{
+    return BuildDecoderStack("gpt2-decode", cfg, batch, /*q_rows=*/1,
+                             /*kv_rows=*/past_len + 1, past_len,
+                             /*store_kv=*/true);
+}
+
+Graph
+BuildTransformerLarge(int batch, int seq_len)
+{
+    Gpt2Config big{6, 1024, 16, 4096};
+    return BuildDecoderStack("transformer-large", big, batch, seq_len,
+                             seq_len, /*past_rows=*/0, /*store_kv=*/false);
+}
+
+}  // namespace soma

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tensor region arithmetic.
+ *
+ * A Region identifies a rectangular slice of a feature map along the
+ * batch, height (row) and width (column) dimensions. Channels are never
+ * split by SoMa's tiler (splitting channels would prevent fusing more
+ * than two layers, Sec. IV-A1 of the paper), so regions carry no channel
+ * range: a region always spans all channels of its layer.
+ */
+#ifndef SOMA_WORKLOAD_REGION_H
+#define SOMA_WORKLOAD_REGION_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace soma {
+
+/**
+ * Half-open rectangular slice [b0,b1) x [r0,r1) x [c0,c1) of an fmap.
+ */
+struct Region {
+    int b0 = 0;  ///< first batch index
+    int b1 = 0;  ///< one past last batch index
+    int r0 = 0;  ///< first row
+    int r1 = 0;  ///< one past last row
+    int c0 = 0;  ///< first column
+    int c1 = 0;  ///< one past last column
+
+    bool Empty() const { return b1 <= b0 || r1 <= r0 || c1 <= c0; }
+
+    int Batches() const { return b1 - b0; }
+    int Rows() const { return r1 - r0; }
+    int Cols() const { return c1 - c0; }
+
+    /** Number of (batch, row, col) sites; multiply by channels for elems. */
+    std::int64_t Sites() const
+    {
+        if (Empty()) return 0;
+        return static_cast<std::int64_t>(Batches()) * Rows() * Cols();
+    }
+
+    bool operator==(const Region &o) const = default;
+
+    /** Smallest region containing both (union bounding box). */
+    static Region Union(const Region &a, const Region &b)
+    {
+        if (a.Empty()) return b;
+        if (b.Empty()) return a;
+        return Region{std::min(a.b0, b.b0), std::max(a.b1, b.b1),
+                      std::min(a.r0, b.r0), std::max(a.r1, b.r1),
+                      std::min(a.c0, b.c0), std::max(a.c1, b.c1)};
+    }
+
+    /** Intersection (may be empty). */
+    static Region Intersect(const Region &a, const Region &b)
+    {
+        Region r{std::max(a.b0, b.b0), std::min(a.b1, b.b1),
+                 std::max(a.r0, b.r0), std::min(a.r1, b.r1),
+                 std::max(a.c0, b.c0), std::min(a.c1, b.c1)};
+        if (r.Empty()) return Region{};
+        return r;
+    }
+
+    /** Whether this region fully contains @p inner. */
+    bool Contains(const Region &inner) const
+    {
+        if (inner.Empty()) return true;
+        return b0 <= inner.b0 && inner.b1 <= b1 && r0 <= inner.r0 &&
+               inner.r1 <= r1 && c0 <= inner.c0 && inner.c1 <= c1;
+    }
+};
+
+/**
+ * The i-th of n near-equal slices of a length-L dimension.
+ * Slice boundaries are floor(i*L/n), matching the paper's "as equal as
+ * possible" split heuristic.
+ */
+inline void
+EvenSlice(int length, int parts, int index, int *lo, int *hi)
+{
+    *lo = static_cast<int>(static_cast<std::int64_t>(index) * length / parts);
+    *hi = static_cast<int>(static_cast<std::int64_t>(index + 1) * length /
+                           parts);
+}
+
+}  // namespace soma
+
+#endif  // SOMA_WORKLOAD_REGION_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for common utilities: RNG determinism and distributions,
+ * table rendering, formatting helpers, logging levels.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace soma {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.UniformInt(0, 1 << 20) == b.UniformInt(0, 1 << 20)) ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        int v = rng.UniformInt(3, 9);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.UniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, FlipProbabilityRoughlyRespected)
+{
+    Rng rng(13);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (rng.Flip(0.25)) ++heads;
+    }
+    EXPECT_NEAR(heads / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, WeightedIndexProportional)
+{
+    Rng rng(17);
+    std::vector<double> weights = {1.0, 3.0};
+    int counts[2] = {0, 0};
+    for (int i = 0; i < 20000; ++i) ++counts[rng.WeightedIndex(weights)];
+    EXPECT_NEAR(counts[1] / 20000.0, 0.75, 0.03);
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsMinusOne)
+{
+    Rng rng(19);
+    std::vector<double> weights = {0.0, 0.0};
+    EXPECT_EQ(rng.WeightedIndex(weights), -1);
+    EXPECT_EQ(rng.WeightedIndex({}), -1);
+}
+
+TEST(Table, AlignedPrinting)
+{
+    Table t({"net", "speedup"});
+    t.AddRow({"resnet50", "2.15"});
+    t.AddRow({"gpt2", "1.14"});
+    std::ostringstream os;
+    t.Print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("resnet50"), std::string::npos);
+    EXPECT_NE(text.find("speedup"), std::string::npos);
+    EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.AddRow({"1", "2"});
+    std::ostringstream os;
+    t.PrintCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Format, DoublePrecision)
+{
+    EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(FormatBytes(512), "512.00B");
+    EXPECT_EQ(FormatBytes(8.0 * 1024 * 1024), "8.00MB");
+    EXPECT_EQ(FormatBytes(2.0 * 1024 * 1024 * 1024), "2.00GB");
+}
+
+TEST(Logging, LevelFilter)
+{
+    LogLevel old = GetLogLevel();
+    SetLogLevel(LogLevel::kError);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+    SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace soma

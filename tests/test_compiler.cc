@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Compiler back-end tests: IR generation and round trip, instruction
+ * generation, dependency well-formedness.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/instruction_gen.h"
+#include "compiler/ir.h"
+#include "corearray/core_array.h"
+#include "search/dlsa_heuristics.h"
+#include "workload/graph_builder.h"
+
+namespace soma {
+namespace {
+
+struct Pipeline {
+    Graph graph;
+    HardwareConfig hw;
+    ParsedSchedule parsed;
+    DlsaEncoding dlsa;
+};
+
+Pipeline
+MakePipeline(int tiling = 2)
+{
+    GraphBuilder b("net", 1);
+    LayerId c1 = b.InputConv("c1", ExtShape{3, 16, 16}, 16, 3, 1, 1);
+    LayerId c2 = b.Conv("c2", c1, 16, 3, 1, 1);
+    LayerId c3 = b.Conv("c3", c2, 32, 3, 2, 1);
+    b.MarkOutput(c3);
+    Pipeline p{b.Take(), EdgeAccelerator(), {}, {}};
+    CoreArrayEvaluator eval(p.graph, p.hw);
+    LfaEncoding lfa;
+    lfa.order = p.graph.TopoOrder();
+    lfa.flc_cuts = {2};
+    lfa.dram_cuts = {2};
+    lfa.tiling = {tiling, 1};
+    p.parsed = ParseLfa(p.graph, lfa, eval);
+    EXPECT_TRUE(p.parsed.valid);
+    p.dlsa = MakeDoubleBufferDlsa(p.parsed);
+    return p;
+}
+
+TEST(Ir, GenerationMatchesParse)
+{
+    Pipeline p = MakePipeline();
+    IrModule ir = GenerateIr(p.graph, p.parsed, p.dlsa);
+    EXPECT_EQ(ir.model, "net");
+    EXPECT_EQ(static_cast<int>(ir.tiles.size()), p.parsed.NumTiles());
+    EXPECT_EQ(static_cast<int>(ir.tensors.size()), p.parsed.NumTensors());
+    EXPECT_EQ(ir.tile_deps.size(), ir.tiles.size());
+
+    // Tensors appear in DRAM order with consistent durations.
+    for (std::size_t r = 0; r < ir.tensors.size(); ++r) {
+        const DramTensor &t = p.parsed.tensors[p.dlsa.order[r]];
+        EXPECT_EQ(ir.tensors[r].is_load, t.IsLoad());
+        EXPECT_EQ(ir.tensors[r].bytes, t.bytes);
+        EXPECT_LT(ir.tensors[r].start, ir.tensors[r].end);
+    }
+}
+
+TEST(Ir, TextRoundTrip)
+{
+    Pipeline p = MakePipeline();
+    IrModule ir = GenerateIr(p.graph, p.parsed, p.dlsa);
+    std::string text = ir.ToText();
+
+    IrModule back;
+    std::string err;
+    ASSERT_TRUE(IrModule::FromText(text, &back, &err)) << err;
+    EXPECT_EQ(back.model, ir.model);
+    EXPECT_EQ(back.batch, ir.batch);
+    ASSERT_EQ(back.tiles.size(), ir.tiles.size());
+    ASSERT_EQ(back.tensors.size(), ir.tensors.size());
+    for (std::size_t i = 0; i < ir.tiles.size(); ++i) {
+        EXPECT_EQ(back.tiles[i].layer, ir.tiles[i].layer);
+        EXPECT_EQ(back.tiles[i].region, ir.tiles[i].region);
+    }
+    for (std::size_t r = 0; r < ir.tensors.size(); ++r) {
+        EXPECT_EQ(back.tensors[r].label, ir.tensors[r].label);
+        EXPECT_EQ(back.tensors[r].start, ir.tensors[r].start);
+        EXPECT_EQ(back.tensors[r].end, ir.tensors[r].end);
+    }
+    EXPECT_EQ(back.tile_deps, ir.tile_deps);
+    // Canonical: second serialization is identical.
+    EXPECT_EQ(back.ToText(), text);
+}
+
+TEST(Ir, FromTextRejectsGarbage)
+{
+    IrModule m;
+    std::string err;
+    EXPECT_FALSE(IrModule::FromText("bogus line", &m, &err));
+    EXPECT_FALSE(IrModule::FromText("tensor x sideways 1 0 1", &m, &err));
+    EXPECT_FALSE(IrModule::FromText("dep 5 0", &m, &err));
+}
+
+TEST(Instructions, CountsMatchIr)
+{
+    Pipeline p = MakePipeline();
+    IrModule ir = GenerateIr(p.graph, p.parsed, p.dlsa);
+    Program prog = GenerateInstructions(ir);
+
+    int loads = 0, stores = 0;
+    for (const IrTensor &t : ir.tensors) (t.is_load ? loads : stores)++;
+    EXPECT_EQ(prog.NumLoads(), loads);
+    EXPECT_EQ(prog.NumStores(), stores);
+    EXPECT_EQ(prog.NumComputes(), static_cast<int>(ir.tiles.size()));
+    EXPECT_EQ(prog.instructions.size(),
+              ir.tiles.size() + ir.tensors.size());
+}
+
+TEST(Instructions, DependenciesAcyclicAndComplete)
+{
+    Pipeline p = MakePipeline(4);
+    IrModule ir = GenerateIr(p.graph, p.parsed, p.dlsa);
+    Program prog = GenerateInstructions(ir);
+    EXPECT_TRUE(prog.DepsAcyclic());
+
+    // Ids are positions.
+    for (std::size_t i = 0; i < prog.instructions.size(); ++i)
+        EXPECT_EQ(prog.instructions[i].id, static_cast<int>(i));
+
+    // Every compute except the first depends on something.
+    bool first_compute = true;
+    for (const Instruction &instr : prog.instructions) {
+        if (instr.op != Opcode::kCompute) continue;
+        if (first_compute) {
+            first_compute = false;
+            continue;
+        }
+        EXPECT_FALSE(instr.deps.empty()) << instr.ToText();
+    }
+}
+
+TEST(Instructions, SerialDramChainPresent)
+{
+    Pipeline p = MakePipeline();
+    IrModule ir = GenerateIr(p.graph, p.parsed, p.dlsa);
+    Program prog = GenerateInstructions(ir);
+    // Each DRAM instruction after the first depends on the previous
+    // DRAM instruction (single channel).
+    int prev_dram = -1;
+    for (const Instruction &instr : prog.instructions) {
+        if (instr.op == Opcode::kCompute) continue;
+        if (prev_dram >= 0) {
+            EXPECT_NE(std::find(instr.deps.begin(), instr.deps.end(),
+                                prev_dram),
+                      instr.deps.end())
+                << instr.ToText();
+        }
+        prev_dram = instr.id;
+    }
+}
+
+TEST(Instructions, TextFormat)
+{
+    Pipeline p = MakePipeline();
+    IrModule ir = GenerateIr(p.graph, p.parsed, p.dlsa);
+    Program prog = GenerateInstructions(ir);
+    std::string text = prog.ToText();
+    EXPECT_NE(text.find("LOAD"), std::string::npos);
+    EXPECT_NE(text.find("STORE"), std::string::npos);
+    EXPECT_NE(text.find("COMP"), std::string::npos);
+    EXPECT_NE(text.find("W:c1"), std::string::npos);
+    EXPECT_NE(text.find("bytes="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soma

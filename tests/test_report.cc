@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Report/rendering tests: execution-graph output structure, truncation,
+ * invalid-schedule handling, and stall annotation.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corearray/core_array.h"
+#include "search/dlsa_heuristics.h"
+#include "sim/evaluator.h"
+#include "sim/report.h"
+#include "workload/graph_builder.h"
+
+namespace soma {
+namespace {
+
+struct Fix {
+    Graph graph;
+    HardwareConfig hw;
+    ParsedSchedule parsed;
+    DlsaEncoding dlsa;
+    EvalReport report;
+};
+
+Fix
+MakeFix(int layers = 3, int tiling = 2)
+{
+    GraphBuilder b("net", 1);
+    LayerId x = b.InputConv("c0", ExtShape{3, 16, 16}, 16, 3, 1, 1);
+    for (int i = 1; i < layers; ++i)
+        x = b.Conv("c" + std::to_string(i), x, 16, 3, 1, 1);
+    b.MarkOutput(x);
+    Fix f{b.Take(), EdgeAccelerator(), {}, {}, {}};
+    CoreArrayEvaluator eval(f.graph, f.hw);
+    LfaEncoding lfa;
+    lfa.order = f.graph.TopoOrder();
+    lfa.tiling = {tiling};
+    f.parsed = ParseLfa(f.graph, lfa, eval);
+    f.dlsa = MakeDoubleBufferDlsa(f.parsed);
+    f.report = EvaluateSchedule(f.graph, f.hw, f.parsed, f.dlsa,
+                                f.hw.gbuf_bytes, f.graph.TotalOps());
+    EXPECT_TRUE(f.report.valid);
+    return f;
+}
+
+TEST(Report, ExecutionGraphSections)
+{
+    Fix f = MakeFix();
+    std::ostringstream os;
+    PrintExecutionGraph(os, f.graph, f.parsed, f.dlsa, f.report);
+    std::string text = os.str();
+    EXPECT_NE(text.find("DRAM row"), std::string::npos);
+    EXPECT_NE(text.find("COMPUTE row"), std::string::npos);
+    EXPECT_NE(text.find("BUFFER peak"), std::string::npos);
+    // Every tile appears as layer#round.
+    EXPECT_NE(text.find("c0#0"), std::string::npos);
+    EXPECT_NE(text.find("c2#1"), std::string::npos);
+    // Living Duration annotations for loads and stores.
+    EXPECT_NE(text.find("S="), std::string::npos);
+    EXPECT_NE(text.find("E="), std::string::npos);
+}
+
+TEST(Report, ExecutionGraphTruncates)
+{
+    Fix f = MakeFix(6, 4);  // 24 tiles
+    std::ostringstream os;
+    PrintExecutionGraph(os, f.graph, f.parsed, f.dlsa, f.report,
+                        /*max_rows=*/5);
+    std::string text = os.str();
+    EXPECT_NE(text.find("more)"), std::string::npos);
+}
+
+TEST(Report, InvalidScheduleRendersReason)
+{
+    Fix f = MakeFix();
+    EvalReport bad;
+    bad.valid = false;
+    bad.why_invalid = "buffer overflow";
+    std::ostringstream os;
+    PrintExecutionGraph(os, f.graph, f.parsed, f.dlsa, bad);
+    EXPECT_NE(os.str().find("buffer overflow"), std::string::npos);
+}
+
+TEST(Report, StallMarkerOnlyWhenStalled)
+{
+    Fix f = MakeFix();
+    std::ostringstream os;
+    PrintExecutionGraph(os, f.graph, f.parsed, f.dlsa, f.report);
+    std::string text = os.str();
+    // The first tile always waits for its loads: a stall marker exists.
+    EXPECT_NE(text.find("<- stall"), std::string::npos);
+}
+
+TEST(Report, HeaderSummaryNumbersMatch)
+{
+    Fix f = MakeFix();
+    std::ostringstream os;
+    PrintExecutionGraph(os, f.graph, f.parsed, f.dlsa, f.report);
+    std::string text = os.str();
+    EXPECT_NE(text.find("LGs " + std::to_string(f.report.num_lgs)),
+              std::string::npos);
+    EXPECT_NE(text.find("tiles " + std::to_string(f.report.num_tiles)),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace soma

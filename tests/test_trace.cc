@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Trace-export tests: CSV structure, row counts, stall accounting, and
+ * consistency between the buffer trace and the evaluator's peak.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corearray/core_array.h"
+#include "search/dlsa_heuristics.h"
+#include "sim/evaluator.h"
+#include "sim/trace.h"
+#include "workload/graph_builder.h"
+
+namespace soma {
+namespace {
+
+struct Fixture {
+    Graph graph;
+    HardwareConfig hw;
+    ParsedSchedule parsed;
+    DlsaEncoding dlsa;
+    EvalReport report;
+};
+
+Fixture
+MakeFixture()
+{
+    GraphBuilder b("net", 1);
+    LayerId c1 = b.InputConv("c1", ExtShape{3, 16, 16}, 16, 3, 1, 1);
+    LayerId c2 = b.Conv("c2", c1, 16, 3, 1, 1);
+    b.MarkOutput(c2);
+    Fixture f{b.Take(), EdgeAccelerator(), {}, {}, {}};
+    CoreArrayEvaluator eval(f.graph, f.hw);
+    LfaEncoding lfa;
+    lfa.order = f.graph.TopoOrder();
+    lfa.tiling = {2};
+    f.parsed = ParseLfa(f.graph, lfa, eval);
+    f.dlsa = MakeDoubleBufferDlsa(f.parsed);
+    f.report = EvaluateSchedule(f.graph, f.hw, f.parsed, f.dlsa,
+                                f.hw.gbuf_bytes, f.graph.TotalOps());
+    EXPECT_TRUE(f.report.valid);
+    return f;
+}
+
+int
+CountLines(const std::string &s)
+{
+    int n = 0;
+    for (char c : s)
+        if (c == '\n') ++n;
+    return n;
+}
+
+TEST(Trace, ComputeCsvRowPerTile)
+{
+    Fixture f = MakeFixture();
+    std::ostringstream os;
+    WriteComputeTraceCsv(os, f.graph, f.parsed, f.report);
+    std::string text = os.str();
+    EXPECT_EQ(CountLines(text), 1 + f.parsed.NumTiles());
+    EXPECT_NE(text.find("pos,layer"), std::string::npos);
+    EXPECT_NE(text.find("c1,0"), std::string::npos);
+    EXPECT_NE(text.find("c2,1"), std::string::npos);
+}
+
+TEST(Trace, DramCsvRowPerTensorInOrder)
+{
+    Fixture f = MakeFixture();
+    std::ostringstream os;
+    WriteDramTraceCsv(os, f.graph, f.parsed, f.dlsa, f.report);
+    std::string text = os.str();
+    EXPECT_EQ(CountLines(text), 1 + f.parsed.NumTensors());
+    EXPECT_NE(text.find("W:c1,weight"), std::string::npos);
+    EXPECT_NE(text.find("ifmap"), std::string::npos);
+    EXPECT_NE(text.find("ofmap"), std::string::npos);
+}
+
+TEST(Trace, BufferCsvMatchesEvaluatorPeak)
+{
+    Fixture f = MakeFixture();
+    std::ostringstream os;
+    WriteBufferTraceCsv(os, f.parsed, f.dlsa);
+    std::string text = os.str();
+    EXPECT_EQ(CountLines(text), 1 + f.parsed.NumTiles());
+
+    // Parse back the column and compare the peak.
+    std::istringstream is(text);
+    std::string line;
+    std::getline(is, line);  // header
+    Bytes peak = 0;
+    while (std::getline(is, line)) {
+        auto comma = line.find(',');
+        ASSERT_NE(comma, std::string::npos);
+        peak = std::max<Bytes>(peak, std::stoll(line.substr(comma + 1)));
+    }
+    EXPECT_EQ(peak, f.report.peak_buffer);
+}
+
+TEST(Trace, StallsNonNegativeAndSumToLatencyGap)
+{
+    Fixture f = MakeFixture();
+    std::ostringstream os;
+    WriteComputeTraceCsv(os, f.graph, f.parsed, f.report);
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);
+    double stall_sum_us = 0;
+    while (std::getline(is, line)) {
+        // stall_us is column 8 (0-based 7).
+        std::istringstream ls(line);
+        std::string tok;
+        for (int i = 0; i < 8; ++i) std::getline(ls, tok, ',');
+        double stall = std::stod(tok);
+        EXPECT_GE(stall, 0.0);
+        stall_sum_us += stall;
+    }
+    // Total compute-side idle time equals last-tile finish minus busy.
+    double last_finish =
+        f.report.tile_times[f.parsed.NumTiles() - 1].finish;
+    EXPECT_NEAR(stall_sum_us * 1e-6, last_finish - f.report.compute_busy,
+                1e-9);
+}
+
+}  // namespace
+}  // namespace soma

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parameterized receptive-field properties: for a sweep of (kernel,
+ * stride, pad) configurations, the window region math must cover
+ * exactly the inputs a convolution touches, clip at borders, and
+ * compose across chained layers.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/graph_builder.h"
+#include "workload/layer.h"
+
+namespace soma {
+namespace {
+
+class WindowProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WindowProperty, CoversReceptiveFieldOfEveryOutputRow)
+{
+    auto [kernel, stride, pad] = GetParam();
+    const int in_dim = 31;
+    int out_dim = (in_dim + 2 * pad - kernel) / stride + 1;
+    if (out_dim <= 0) GTEST_SKIP();
+
+    Layer l("conv", LayerKind::kConv, 8, out_dim, out_dim);
+    l.setWindow(WindowParams{kernel, kernel, stride, stride, pad, pad});
+    InputRef ref{0, AccessPattern::kWindow, {}};
+
+    for (int r0 = 0; r0 < out_dim; ++r0) {
+        Region out{0, 1, r0, r0 + 1, 0, out_dim};
+        Region in = l.RequiredInputRegion(ref, out, in_dim, in_dim);
+        // The unclipped receptive field of output row r0 is
+        // [r0*s - pad, r0*s - pad + kernel).
+        int want_lo = std::max(0, r0 * stride - pad);
+        int want_hi = std::min(in_dim, r0 * stride - pad + kernel);
+        EXPECT_LE(in.r0, want_lo) << "r0=" << r0;
+        EXPECT_GE(in.r1, want_hi) << "r0=" << r0;
+        // Never reads outside the input.
+        EXPECT_GE(in.r0, 0);
+        EXPECT_LE(in.r1, in_dim);
+        EXPECT_FALSE(in.Empty());
+    }
+}
+
+TEST_P(WindowProperty, FullOutputNeedsWholeUsedInput)
+{
+    auto [kernel, stride, pad] = GetParam();
+    const int in_dim = 31;
+    int out_dim = (in_dim + 2 * pad - kernel) / stride + 1;
+    if (out_dim <= 0) GTEST_SKIP();
+
+    Layer l("conv", LayerKind::kConv, 8, out_dim, out_dim);
+    l.setWindow(WindowParams{kernel, kernel, stride, stride, pad, pad});
+    InputRef ref{0, AccessPattern::kWindow, {}};
+    Region out{0, 1, 0, out_dim, 0, out_dim};
+    Region in = l.RequiredInputRegion(ref, out, in_dim, in_dim);
+    EXPECT_EQ(in.r0, 0);
+    // The last touched input row is (out_dim-1)*s - pad + kernel,
+    // clipped to the input.
+    EXPECT_EQ(in.r1,
+              std::min(in_dim, (out_dim - 1) * stride - pad + kernel));
+}
+
+TEST_P(WindowProperty, AdjacentTilesOverlapByKernelMinusStride)
+{
+    auto [kernel, stride, pad] = GetParam();
+    const int in_dim = 31;
+    int out_dim = (in_dim + 2 * pad - kernel) / stride + 1;
+    if (out_dim < 8) GTEST_SKIP();
+
+    Layer l("conv", LayerKind::kConv, 8, out_dim, out_dim);
+    l.setWindow(WindowParams{kernel, kernel, stride, stride, pad, pad});
+    InputRef ref{0, AccessPattern::kWindow, {}};
+
+    int mid = out_dim / 2;
+    Region top{0, 1, 0, mid, 0, out_dim};
+    Region bottom{0, 1, mid, out_dim, 0, out_dim};
+    Region in_top = l.RequiredInputRegion(ref, top, in_dim, in_dim);
+    Region in_bot = l.RequiredInputRegion(ref, bottom, in_dim, in_dim);
+    // The halo overlap between adjacent tiles is exactly
+    // kernel - stride rows (clipped at borders).
+    int overlap = std::max(0, in_top.r1 - in_bot.r0);
+    EXPECT_LE(overlap, std::max(0, kernel - stride));
+    // Together they cover everything the full output needs.
+    Region in_full = l.RequiredInputRegion(
+        ref, Region{0, 1, 0, out_dim, 0, out_dim}, in_dim, in_dim);
+    EXPECT_EQ(Region::Union(in_top, in_bot), in_full);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelStridePad, WindowProperty,
+    ::testing::Combine(::testing::Values(1, 3, 5, 7),  // kernel
+                       ::testing::Values(1, 2),        // stride
+                       ::testing::Values(0, 1, 3)));   // pad
+
+}  // namespace
+}  // namespace soma
