@@ -88,7 +88,7 @@ LayerScatter(const Graph &g)
 
 /** Per-tile scatter under the Cocco schedule. */
 Scatter
-TileScatter(const Graph &g, const ParsedSchedule &p)
+TileScatter(const Graph &, const ParsedSchedule &p)
 {
     Scatter s;
     std::vector<double> tile_dram(p.NumTiles(), 0.0);

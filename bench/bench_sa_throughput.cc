@@ -1,0 +1,281 @@
+/**
+ * @file
+ * SA hot-path throughput: candidates evaluated per second, the number
+ * every search-stage speedup ultimately cashes out as. Tracks four
+ * configurations of the DLSA inner loop —
+ *
+ *   legacy        mutate + EvaluateSchedule (the pre-refactor shape:
+ *                 every candidate rebuilds all evaluation state)
+ *   context-full  mutate + EvalContext::Evaluate (reused scratch,
+ *                 allocation-free after warm-up)
+ *   context-incr  mutate + EvalContext::EvaluateDelta (timeline resumed
+ *                 from the earliest slot the mutation touched)
+ *   driver KxN    RunDlsaStage on the SearchDriver with K chains on N
+ *                 threads (aggregate candidates/s at equal per-chain
+ *                 budget)
+ *
+ * plus the LFA loop (parse-dominated) with and without the context.
+ * Profiles: SOMA_BENCH_PROFILE=quick|default|full scales the budgets.
+ *
+ * Run: ./build/bench_sa_throughput
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "search/dlsa_heuristics.h"
+#include "search/dlsa_stage.h"
+#include "search/driver.h"
+#include "search/lfa_stage.h"
+#include "sim/eval_context.h"
+#include "sim/evaluator.h"
+#include "workload/graph_builder.h"
+#include "workload/models.h"
+
+namespace {
+
+using namespace soma;
+using Clock = std::chrono::steady_clock;
+
+double
+SecondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Row {
+    std::string name;
+    int candidates = 0;
+    double seconds = 0.0;
+    double PerSecond() const
+    {
+        return seconds > 0.0 ? candidates / seconds : 0.0;
+    }
+};
+
+void
+PrintRows(const std::vector<Row> &rows, const std::string &baseline)
+{
+    double base_rate = 0.0;
+    for (const Row &r : rows)
+        if (r.name == baseline) base_rate = r.PerSecond();
+    for (const Row &r : rows) {
+        double rel = base_rate > 0.0 ? r.PerSecond() / base_rate : 0.0;
+        std::printf("  %-22s %10d cands %8.3f s %12.0f cands/s %7.2fx\n",
+                    r.name.c_str(), r.candidates, r.seconds, r.PerSecond(),
+                    rel);
+    }
+}
+
+/** Greedy-walk harness shared by the three DLSA loop variants: mutate,
+ *  evaluate, and adopt improvements (the accept pattern whose cost the
+ *  SA loop pays). */
+template <typename EvalFn, typename AcceptFn>
+Row
+DlsaWalk(const std::string &name, const ParsedSchedule &parsed,
+         const DlsaEncoding &initial, double initial_cost, int iters,
+         EvalFn &&evaluate, AcceptFn &&on_accept)
+{
+    DlsaMutator mutate(parsed);
+    Rng rng(17);
+    DlsaEncoding current = initial, cand;
+    DlsaDelta delta;
+    double current_cost = initial_cost;
+    Row row;
+    row.name = name;
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        if (!mutate(current, &cand, rng, &delta)) continue;
+        double c = evaluate(cand, delta);
+        ++row.candidates;
+        if (c < current_cost) {
+            on_accept();
+            std::swap(current, cand);
+            current_cost = c;
+        }
+    }
+    row.seconds = SecondsSince(t0);
+    return row;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using bench::Profile;
+    const Profile profile = bench::ProfileFromEnv();
+    int dlsa_iters, lfa_iters, stage_cap;
+    switch (profile) {
+      case Profile::kQuick:
+        dlsa_iters = 2000;
+        lfa_iters = 200;
+        stage_cap = 1500;
+        break;
+      case Profile::kFull:
+        dlsa_iters = 50000;
+        lfa_iters = 4000;
+        stage_cap = 20000;
+        break;
+      case Profile::kDefault:
+      default:
+        dlsa_iters = 10000;
+        lfa_iters = 1000;
+        stage_cap = 6000;
+        break;
+    }
+
+    Graph graph = BuildResNet50(1);
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator core_eval(graph, hw);
+    const Ops total_ops = graph.TotalOps();
+
+    // A fused multi-LG scheme with real prefetch headroom.
+    LfaEncoding lfa = MakeInitialLfa(graph, hw, 64);
+    {
+        Rng seed_rng(3);
+        LfaStageOptions seed_opts;
+        seed_opts.beta = 5;
+        seed_opts.max_iterations = 200;
+        seed_opts.driver.chains = 1;
+        seed_opts.driver.threads = 1;
+        LfaStageResult seeded = RunLfaStage(graph, hw, core_eval,
+                                            hw.gbuf_bytes, seed_opts,
+                                            seed_rng);
+        if (seeded.report.valid) lfa = seeded.lfa;
+    }
+    ParsedSchedule parsed = ParseLfa(graph, lfa, core_eval);
+    DlsaEncoding initial = MakeDoubleBufferDlsa(parsed);
+    double initial_cost =
+        EvaluateSchedule(graph, hw, parsed, initial, hw.gbuf_bytes,
+                         total_ops)
+            .Cost();
+
+    std::printf("SA hot-path throughput (profile=%s)\n",
+                bench::ProfileName(profile));
+    std::printf("workload=resnet50 b=1: %d tiles, %d DRAM tensors, "
+                "%d LGs\n\n",
+                parsed.NumTiles(), parsed.NumTensors(), parsed.num_lgs);
+
+    // ----------------------------------------------------- DLSA loop
+    std::vector<Row> dlsa_rows;
+    dlsa_rows.push_back(DlsaWalk(
+        "dlsa/legacy", parsed, initial, initial_cost, dlsa_iters,
+        [&](const DlsaEncoding &d, const DlsaDelta &) {
+            return EvaluateSchedule(graph, hw, parsed, d, hw.gbuf_bytes,
+                                    total_ops)
+                .Cost();
+        },
+        [] {}));
+
+    {
+        EvalContext ctx;
+        dlsa_rows.push_back(DlsaWalk(
+            "dlsa/context-full", parsed, initial, initial_cost, dlsa_iters,
+            [&](const DlsaEncoding &d, const DlsaDelta &) {
+                return ctx
+                    .Evaluate(graph, hw, parsed, d, hw.gbuf_bytes,
+                              total_ops)
+                    .Cost();
+            },
+            [] {}));
+    }
+
+    {
+        EvalContext ctx;
+        ctx.Evaluate(graph, hw, parsed, initial, hw.gbuf_bytes, total_ops);
+        ctx.Commit();
+        dlsa_rows.push_back(DlsaWalk(
+            "dlsa/context-incr", parsed, initial, initial_cost, dlsa_iters,
+            [&](const DlsaEncoding &d, const DlsaDelta &delta) {
+                return ctx
+                    .EvaluateDelta(graph, hw, parsed, d, delta,
+                                   hw.gbuf_bytes, total_ops)
+                    .Cost();
+            },
+            [&] { ctx.Commit(); }));
+    }
+    std::printf("DLSA inner loop (%d iterations):\n", dlsa_iters);
+    PrintRows(dlsa_rows, "dlsa/legacy");
+
+    // ------------------------------------------------------ LFA loop
+    std::vector<Row> lfa_rows;
+    {
+        Rng rng(23);
+        LfaEncoding cur = lfa, cand;
+        Row row;
+        row.name = "lfa/legacy";
+        Clock::time_point t0 = Clock::now();
+        for (int i = 0; i < lfa_iters; ++i) {
+            if (!MutateLfaEncoding(graph, cur, &cand, 64, rng)) continue;
+            ParsedSchedule p = ParseLfa(graph, cand, core_eval);
+            if (p.valid) {
+                DlsaEncoding d = MakeDoubleBufferDlsa(p);
+                EvaluateSchedule(graph, hw, p, d, hw.gbuf_bytes, total_ops);
+            }
+            ++row.candidates;
+        }
+        row.seconds = SecondsSince(t0);
+        lfa_rows.push_back(row);
+    }
+    {
+        Rng rng(23);
+        EvalContext ctx;
+        DlsaEncoding dlsa_scratch;
+        LfaEncoding cur = lfa, cand;
+        Row row;
+        row.name = "lfa/context";
+        Clock::time_point t0 = Clock::now();
+        for (int i = 0; i < lfa_iters; ++i) {
+            if (!MutateLfaEncoding(graph, cur, &cand, 64, rng)) continue;
+            const ParsedSchedule &p = ctx.Parse(graph, cand, core_eval);
+            if (p.valid) {
+                MakeDoubleBufferDlsaInto(p, &dlsa_scratch);
+                ctx.Evaluate(graph, hw, p, dlsa_scratch, hw.gbuf_bytes,
+                             total_ops);
+            }
+            ++row.candidates;
+        }
+        row.seconds = SecondsSince(t0);
+        lfa_rows.push_back(row);
+    }
+    std::printf("\nLFA inner loop (%d iterations, parse-dominated):\n",
+                lfa_iters);
+    PrintRows(lfa_rows, "lfa/legacy");
+
+    // --------------------------------------- SearchDriver (DLSA stage)
+    const int hw_threads = ResolveDriverThreads(SearchDriverOptions{});
+    std::vector<Row> driver_rows;
+    for (int chains : {1, hw_threads > 1 ? hw_threads : 4}) {
+        DlsaStageOptions opts;
+        opts.beta = 1000;
+        opts.max_iterations = stage_cap;
+        opts.driver.chains = chains;
+        opts.driver.threads = hw_threads;
+        Rng rng(31);
+        Row row;
+        row.name = "driver/" + std::to_string(chains) + "x" +
+                   std::to_string(std::min(chains, hw_threads));
+        Clock::time_point t0 = Clock::now();
+        DlsaStageResult res = RunDlsaStage(graph, hw, parsed, initial,
+                                           hw.gbuf_bytes, opts, rng);
+        row.seconds = SecondsSince(t0);
+        row.candidates = res.stats.evaluated;
+        driver_rows.push_back(row);
+    }
+    std::printf("\nSearchDriver DLSA stage (cap %d iters/chain, %d hw "
+                "threads):\n",
+                stage_cap, hw_threads);
+    PrintRows(driver_rows, driver_rows.front().name);
+
+    const Row &incr = dlsa_rows.back();
+    const Row &legacy = dlsa_rows.front();
+    const Row &par = driver_rows.back();
+    double single = legacy.PerSecond();
+    std::printf("\nsummary: incremental %.2fx, parallel driver %.2fx vs "
+                "legacy single-thread\n",
+                single > 0 ? incr.PerSecond() / single : 0.0,
+                single > 0 ? par.PerSecond() / single : 0.0);
+    return 0;
+}

@@ -1,9 +1,12 @@
 #include "baselines/cocco.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "search/dlsa_heuristics.h"
+#include "search/driver.h"
 #include "search/lfa_stage.h"
+#include "sim/eval_context.h"
 #include "sim/evaluator.h"
 
 namespace soma {
@@ -98,15 +101,23 @@ RunCocco(const Graph &graph, const HardwareConfig &hw,
     // their whole LG (no fine-grained weight windowing).
     const ParseOptions popts{/*lg_resident_weights=*/true};
 
-    auto evaluate = [&](const CoccoState &state) -> double {
+    auto eval_with = [&graph, &hw, popts, total_ops, cap = opts.tiling_cap,
+                      n = opts.cost_n, m = opts.cost_m](
+                         EvalContext &ctx, CoreArrayEvaluator &ce,
+                         const CoccoState &state) -> double {
         LfaEncoding lfa = MakeCoccoLfa(graph, hw, state.order, state.cuts,
-                                       opts.tiling_cap);
-        ParsedSchedule parsed = ParseLfa(graph, lfa, core_eval, popts);
+                                       cap);
+        const ParsedSchedule &parsed = ctx.Parse(graph, lfa, ce, popts);
         if (!parsed.valid) return std::numeric_limits<double>::infinity();
         DlsaEncoding dlsa = MakeCoccoDlsa(parsed);
-        EvalReport rep = EvaluateSchedule(graph, hw, parsed, dlsa,
-                                          hw.gbuf_bytes, total_ops);
-        return rep.Cost(opts.cost_n, opts.cost_m);
+        const EvalReport &rep = ctx.Evaluate(graph, hw, parsed, dlsa,
+                                             hw.gbuf_bytes, total_ops);
+        return rep.Cost(n, m);
+    };
+
+    EvalContext serial_ctx;
+    auto evaluate = [&](const CoccoState &state) -> double {
+        return eval_with(serial_ctx, core_eval, state);
     };
 
     // Initial: unfused.
@@ -134,14 +145,23 @@ RunCocco(const Graph &graph, const HardwareConfig &hw,
     SaOptions sa = opts.sa;
     sa.iterations = std::min(opts.max_iterations,
                              opts.beta * graph.NumLayers());
-    std::function<bool(const CoccoState &, CoccoState *, Rng &)> mut =
-        [&](const CoccoState &cur, CoccoState *next, Rng &r) {
+
+    auto make_env = [&](int /*chain*/) {
+        ChainEnv<CoccoState> env;
+        auto ce = std::make_shared<CoreArrayEvaluator>(graph, hw);
+        auto ctx = std::make_shared<EvalContext>();
+        env.mutate = [&graph](const CoccoState &cur, CoccoState *next,
+                              Rng &r) {
             return MutateCocco(graph, cur, next, r);
         };
-    std::function<double(const CoccoState &)> eval = evaluate;
-
+        env.evaluate = [eval_with, ce, ctx](const CoccoState &s) {
+            return eval_with(*ctx, *ce, s);
+        };
+        return env;
+    };
     CoccoResult result;
-    result.stats = RunSa<CoccoState>(&state, &cost, mut, eval, sa, rng);
+    result.stats = RunDriverAndAdopt<CoccoState>(make_env, sa, opts.driver,
+                                                 rng, &state, &cost);
     result.cost = cost;
     result.lfa = MakeCoccoLfa(graph, hw, state.order, state.cuts,
                               opts.tiling_cap);

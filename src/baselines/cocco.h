@@ -13,6 +13,7 @@
 
 #include "corearray/core_array.h"
 #include "notation/encoding.h"
+#include "search/driver.h"
 #include "search/sa.h"
 #include "sim/report.h"
 
@@ -32,6 +33,7 @@ struct CoccoOptions {
      *  optimizer budget. */
     bool greedy_seed = true;
     SaOptions sa;
+    SearchDriverOptions driver;
 };
 
 /** Best scheme found by the Cocco baseline. */

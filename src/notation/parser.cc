@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
-#include <unordered_map>
 
 namespace soma {
 
@@ -80,17 +79,41 @@ ParsedSchedule
 ParseLfa(const Graph &graph, const LfaEncoding &lfa,
          CoreArrayEvaluator &core_eval, const ParseOptions &popts)
 {
+    ParseScratch scratch;
     ParsedSchedule out;
-    if (!lfa.StructurallyValid(graph, &out.why_invalid)) return out;
+    ParseLfaInto(graph, lfa, core_eval, popts, &scratch, &out);
+    return out;
+}
+
+void
+ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
+             CoreArrayEvaluator &core_eval, const ParseOptions &popts,
+             ParseScratch *scratch, ParsedSchedule *out_ptr)
+{
+    ParsedSchedule &out = *out_ptr;
+    out.valid = false;
+    out.why_invalid.clear();
+    out.tiles.clear();
+    out.tensors.clear();
+    out.onchip.clear();
+    out.num_flgs = 0;
+    out.num_lgs = 0;
+    if (!lfa.StructurallyValid(graph, &out.why_invalid)) return;
 
     const int n = graph.NumLayers();
     out.num_flgs = lfa.NumFlgs();
     out.num_lgs = lfa.NumLgs();
 
     // Per-layer placement metadata.
-    std::vector<int> flg_of_layer(n, -1), lg_of_layer(n, -1);
-    std::vector<int> idx_in_flg(n, -1);
-    std::vector<std::vector<LayerId>> flg_layers(lfa.NumFlgs());
+    std::vector<int> &flg_of_layer = scratch->flg_of_layer;
+    std::vector<int> &lg_of_layer = scratch->lg_of_layer;
+    std::vector<int> &idx_in_flg = scratch->idx_in_flg;
+    flg_of_layer.assign(n, -1);
+    lg_of_layer.assign(n, -1);
+    idx_in_flg.assign(n, -1);
+    std::vector<std::vector<LayerId>> &flg_layers = scratch->flg_layers;
+    flg_layers.resize(lfa.NumFlgs());
+    for (int g = 0; g < lfa.NumFlgs(); ++g) flg_layers[g].clear();
     for (int g = 0; g < lfa.NumFlgs(); ++g) {
         int begin, end;
         lfa.FlgRange(g, &begin, &end);
@@ -104,13 +127,14 @@ ParseLfa(const Graph &graph, const LfaEncoding &lfa,
     }
 
     // Tile the FLGs (backward halo propagation).
-    std::vector<FlgTiling> tilings(lfa.NumFlgs());
+    std::vector<FlgTiling> &tilings = scratch->tilings;
+    tilings.resize(lfa.NumFlgs());
     for (int g = 0; g < lfa.NumFlgs(); ++g) {
         tilings[g] = ComputeFlgTiling(graph, flg_layers[g], lfa.tiling[g]);
         if (!tilings[g].valid) {
             out.why_invalid = "tiling " + std::to_string(lfa.tiling[g]) +
                               " infeasible for FLG " + std::to_string(g);
-            return out;
+            return;
         }
     }
 
@@ -122,7 +146,8 @@ ParseLfa(const Graph &graph, const LfaEncoding &lfa,
                            static_cast<std::size_t>(lfa.tiling[g]);
         out.tiles.reserve(total_tiles);
     }
-    std::vector<std::vector<TilePos>> pos_of(n);
+    std::vector<std::vector<TilePos>> &pos_of = scratch->pos_of;
+    pos_of.resize(n);
     for (int g = 0; g < lfa.NumFlgs(); ++g) {
         const int rounds = lfa.tiling[g];
         const auto &layers = flg_layers[g];
@@ -145,8 +170,10 @@ ParseLfa(const Graph &graph, const LfaEncoding &lfa,
     }
 
     // LG extents in tile-position space.
-    std::vector<TilePos> lg_first(lfa.NumLgs(), INT32_MAX);
-    std::vector<TilePos> lg_last(lfa.NumLgs(), -1);
+    std::vector<TilePos> &lg_first = scratch->lg_first;
+    std::vector<TilePos> &lg_last = scratch->lg_last;
+    lg_first.assign(lfa.NumLgs(), INT32_MAX);
+    lg_last.assign(lfa.NumLgs(), -1);
     for (int i = 0; i < out.NumTiles(); ++i) {
         lg_first[out.tiles[i].lg] = std::min(lg_first[out.tiles[i].lg],
                                              static_cast<TilePos>(i));
@@ -155,7 +182,8 @@ ParseLfa(const Graph &graph, const LfaEncoding &lfa,
     }
 
     // Enumerate DRAM tensors and on-chip reuse intervals.
-    std::vector<DramTensor> tensors;
+    std::vector<DramTensor> &tensors = scratch->tensors;
+    tensors.clear();
 
     for (LayerId id = 0; id < n; ++id) {
         const Layer &l = graph.layer(id);
@@ -302,7 +330,8 @@ ParseLfa(const Graph &graph, const LfaEncoding &lfa,
         };
         const std::size_t buckets =
             static_cast<std::size_t>(out.NumTiles()) * 3 + 1;
-        std::vector<int> count(buckets + 1, 0);
+        std::vector<int> &count = scratch->count;
+        count.assign(buckets + 1, 0);
         for (const DramTensor &t : tensors) ++count[key(t) + 1];
         for (std::size_t i = 1; i <= buckets; ++i) count[i] += count[i - 1];
         out.tensors.resize(tensors.size());
@@ -317,12 +346,19 @@ ParseLfa(const Graph &graph, const LfaEncoding &lfa,
     }
 
     out.valid = true;
-    return out;
 }
 
 bool
 DlsaValid(const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
           std::string *why)
+{
+    DlsaCheckScratch scratch;
+    return DlsaValid(parsed, dlsa, why, &scratch);
+}
+
+bool
+DlsaValid(const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
+          std::string *why, DlsaCheckScratch *scratch)
 {
     auto fail = [&](const char *msg) {
         if (why) *why = msg;
@@ -333,7 +369,8 @@ DlsaValid(const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
         static_cast<int>(dlsa.free_point.size()) != d) {
         return fail("dlsa arity mismatch");
     }
-    std::vector<char> seen(d, 0);
+    std::vector<char> &seen = scratch->seen;
+    seen.assign(d, 0);
     for (int j : dlsa.order) {
         if (j < 0 || j >= d || seen[j]) return fail("order not a permutation");
         seen[j] = 1;
@@ -346,28 +383,27 @@ DlsaValid(const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
     }
     // Data existence: a cross-LG ifmap load must follow every store of
     // its source layer in the DRAM order.
-    std::vector<int> rank(d, 0);
+    std::vector<int> &rank = scratch->rank;
+    rank.assign(d, 0);
     for (int r = 0; r < d; ++r) rank[dlsa.order[r]] = r;
-    // max store rank per source layer:
-    std::unordered_map<LayerId, int> max_store_rank;
+    // max store rank per source layer (-1: layer stores nothing):
+    LayerId max_layer = -1;
+    for (int j = 0; j < d; ++j)
+        max_layer = std::max(max_layer, parsed.tensors[j].layer);
+    std::vector<int> &store_rank = scratch->store_rank_by_layer;
+    store_rank.assign(static_cast<std::size_t>(max_layer + 1), -1);
     for (int j = 0; j < d; ++j) {
         const DramTensor &t = parsed.tensors[j];
         if (t.kind == DramTensorKind::kOfmap) {
-            auto it = max_store_rank.find(t.layer);
-            if (it == max_store_rank.end()) {
-                max_store_rank[t.layer] = rank[j];
-            } else {
-                it->second = std::max(it->second, rank[j]);
-            }
+            store_rank[t.layer] = std::max(store_rank[t.layer], rank[j]);
         }
     }
     for (int j = 0; j < d; ++j) {
         const DramTensor &t = parsed.tensors[j];
-        if (t.kind == DramTensorKind::kIfmap && t.src_layer != kNoLayer) {
-            auto it = max_store_rank.find(t.src_layer);
-            if (it != max_store_rank.end() && rank[j] < it->second) {
-                return fail("ifmap load ordered before producer store");
-            }
+        if (t.kind == DramTensorKind::kIfmap && t.src_layer != kNoLayer &&
+            t.src_layer <= max_layer && store_rank[t.src_layer] >= 0 &&
+            rank[j] < store_rank[t.src_layer]) {
+            return fail("ifmap load ordered before producer store");
         }
     }
     return true;

@@ -119,6 +119,22 @@ struct ParsedSchedule {
 };
 
 /**
+ * Reusable intermediate storage for ParseLfaInto. The SA inner loop
+ * parses thousands of candidate LFAs; keeping one scratch per search
+ * thread (EvalContext owns one) lets consecutive parses reuse the
+ * per-layer and per-tensor containers instead of reallocating them.
+ */
+struct ParseScratch {
+    std::vector<int> flg_of_layer, lg_of_layer, idx_in_flg;
+    std::vector<std::vector<LayerId>> flg_layers;
+    std::vector<FlgTiling> tilings;
+    std::vector<std::vector<TilePos>> pos_of;
+    std::vector<TilePos> lg_first, lg_last;
+    std::vector<DramTensor> tensors;
+    std::vector<int> count;
+};
+
+/**
  * Parse the LFA: build the tile sequence (per-tile regions from the
  * backward halo propagation, costs from the core array evaluator), the
  * DRAM tensor list in canonical order (sorted by need position; loads
@@ -131,12 +147,32 @@ ParsedSchedule ParseLfa(const Graph &graph, const LfaEncoding &lfa,
                         const ParseOptions &popts = {});
 
 /**
+ * Allocation-lean ParseLfa: writes into @p out and draws intermediate
+ * storage from @p scratch, both of which retain their capacity across
+ * calls.
+ */
+void ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
+                  CoreArrayEvaluator &core_eval, const ParseOptions &popts,
+                  ParseScratch *scratch, ParsedSchedule *out);
+
+/** Reusable storage for the scratch-based DlsaValid overload. */
+struct DlsaCheckScratch {
+    std::vector<char> seen;
+    std::vector<int> rank;
+    std::vector<int> store_rank_by_layer;
+};
+
+/**
  * Validity of a DLSA against a parse: permutation arity, free points in
  * range, and every cross-LG ifmap load ordered after all ofmap stores of
  * its source layer.
  */
 bool DlsaValid(const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
                std::string *why = nullptr);
+
+/** Allocation-lean DlsaValid for the SA inner loop. */
+bool DlsaValid(const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
+               std::string *why, DlsaCheckScratch *scratch);
 
 }  // namespace soma
 

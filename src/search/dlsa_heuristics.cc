@@ -5,53 +5,65 @@
 
 namespace soma {
 
-namespace {
-
-DlsaEncoding
-MakeWithSlack(const ParsedSchedule &parsed, TilePos load_lead,
-              TilePos store_lag)
+void
+MakeSlackDlsaInto(const ParsedSchedule &parsed, TilePos load_lead,
+                  TilePos store_lag, DlsaEncoding *out)
 {
-    DlsaEncoding dlsa;
     const int d = parsed.NumTensors();
-    dlsa.order.resize(d);
-    std::iota(dlsa.order.begin(), dlsa.order.end(), 0);
-    dlsa.free_point.resize(d);
+    out->order.resize(d);
+    std::iota(out->order.begin(), out->order.end(), 0);
+    out->free_point.resize(d);
     for (int j = 0; j < d; ++j) {
         const DramTensor &t = parsed.tensors[j];
         if (t.IsLoad()) {
-            dlsa.free_point[j] =
+            out->free_point[j] =
                 std::clamp<TilePos>(t.first_use - load_lead,
                                     parsed.FreePointMin(j),
                                     parsed.FreePointMax(j));
         } else {
-            dlsa.free_point[j] =
+            out->free_point[j] =
                 std::clamp<TilePos>(t.first_use + store_lag,
                                     parsed.FreePointMin(j),
                                     parsed.FreePointMax(j));
         }
     }
-    return dlsa;
 }
 
-}  // namespace
+void
+MakeDoubleBufferDlsaInto(const ParsedSchedule &parsed, DlsaEncoding *out)
+{
+    MakeSlackDlsaInto(parsed, /*load_lead=*/1, /*store_lag=*/2, out);
+}
+
+void
+MakeLazyDlsaInto(const ParsedSchedule &parsed, DlsaEncoding *out)
+{
+    MakeSlackDlsaInto(parsed, /*load_lead=*/0, /*store_lag=*/1, out);
+}
 
 DlsaEncoding
 MakeDoubleBufferDlsa(const ParsedSchedule &parsed)
 {
-    return MakeWithSlack(parsed, /*load_lead=*/1, /*store_lag=*/2);
+    DlsaEncoding dlsa;
+    MakeDoubleBufferDlsaInto(parsed, &dlsa);
+    return dlsa;
 }
 
 DlsaEncoding
 MakeSlackDlsa(const ParsedSchedule &parsed, TilePos load_lead,
               TilePos store_lag)
 {
-    return MakeWithSlack(parsed, load_lead, store_lag);
+    DlsaEncoding dlsa;
+    MakeSlackDlsaInto(parsed, load_lead, store_lag, &dlsa);
+    return dlsa;
 }
 
 DlsaEncoding
 MakeLazyDlsa(const ParsedSchedule &parsed)
 {
-    return MakeWithSlack(parsed, /*load_lead=*/0, /*store_lag=*/1);
+    DlsaEncoding dlsa;
+    MakeLazyDlsaInto(parsed, &dlsa);
+    return dlsa;
 }
 
 DlsaEncoding

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "search/dlsa_heuristics.h"
+#include "sim/eval_context.h"
 #include "sim/evaluator.h"
 
 namespace soma {
@@ -38,30 +40,27 @@ RankBounds(const ParsedSchedule &parsed, const std::vector<int> &order,
     }
 }
 
-struct TensorPicker {
-    std::vector<double> weights;
-    explicit TensorPicker(const ParsedSchedule &parsed)
-    {
-        weights.reserve(parsed.NumTensors());
-        for (const DramTensor &t : parsed.tensors)
-            weights.push_back(static_cast<double>(t.bytes));
-    }
-    int Pick(Rng &rng) const
-    {
-        int idx = rng.WeightedIndex(weights);
-        return idx < 0 ? 0 : idx;
-    }
-};
+}  // namespace
+
+DlsaMutator::DlsaMutator(const ParsedSchedule &parsed) : parsed_(parsed)
+{
+    weights_.reserve(parsed.NumTensors());
+    for (const DramTensor &t : parsed.tensors)
+        weights_.push_back(static_cast<double>(t.bytes));
+}
 
 bool
-MutateDlsa(const ParsedSchedule &parsed, const TensorPicker &picker,
-           const DlsaEncoding &cur, DlsaEncoding *next, Rng &rng)
+DlsaMutator::operator()(const DlsaEncoding &cur, DlsaEncoding *next,
+                        Rng &rng, DlsaDelta *delta) const
 {
+    const ParsedSchedule &parsed = parsed_;
     const int d = parsed.NumTensors();
     if (d == 0) return false;
     *next = cur;
+    delta->kind = DlsaDelta::Kind::kNone;
     for (int attempt = 0; attempt < 4; ++attempt) {
-        int j = picker.Pick(rng);
+        int picked = rng.WeightedIndex(weights_);
+        int j = picked < 0 ? 0 : picked;
         if (rng.Flip()) {
             // Change DRAM Tensor Order: move j to another legal rank.
             int cur_rank = -1;
@@ -84,6 +83,10 @@ MutateDlsa(const ParsedSchedule &parsed, const TensorPicker &picker,
                             next->order.begin() + cur_rank + 1,
                             next->order.begin() + q + 1);
             }
+            delta->kind = DlsaDelta::Kind::kOrderMove;
+            delta->tensor = j;
+            delta->from_rank = cur_rank;
+            delta->to_rank = q;
             return true;
         }
         // Change Living Duration: re-draw the free endpoint.
@@ -92,13 +95,15 @@ MutateDlsa(const ParsedSchedule &parsed, const TensorPicker &picker,
         if (lo >= hi) continue;
         TilePos v = static_cast<TilePos>(rng.UniformInt(lo, hi));
         if (v == next->free_point[j]) continue;
+        delta->kind = DlsaDelta::Kind::kFreePoint;
+        delta->tensor = j;
+        delta->old_point = next->free_point[j];
+        delta->new_point = v;
         next->free_point[j] = v;
         return true;
     }
     return false;
 }
-
-}  // namespace
 
 DlsaStageResult
 RunDlsaStage(const Graph &graph, const HardwareConfig &hw,
@@ -106,45 +111,70 @@ RunDlsaStage(const Graph &graph, const HardwareConfig &hw,
              Bytes buffer_budget, const DlsaStageOptions &opts, Rng &rng)
 {
     const Ops total_ops = graph.TotalOps();
-    TensorPicker picker(parsed);
+    auto mutator = std::make_shared<DlsaMutator>(parsed);
 
-    auto evaluate = [&](const DlsaEncoding &dlsa) -> double {
-        EvalReport rep = EvaluateSchedule(graph, hw, parsed, dlsa,
-                                          buffer_budget, total_ops);
-        return rep.Cost(opts.cost_n, opts.cost_m);
+    EvalContext serial_ctx;
+    auto evaluate_serial = [&](const DlsaEncoding &dlsa) -> double {
+        return serial_ctx
+            .Evaluate(graph, hw, parsed, dlsa, buffer_budget, total_ops)
+            .Cost(opts.cost_n, opts.cost_m);
     };
 
     DlsaStageResult result;
     result.dlsa = initial;
-    result.cost = evaluate(initial);
+    result.cost = evaluate_serial(initial);
 
     // Heuristic seeds: deeper uniform prefetch leads when the buffer
     // allows (the "push weights forward" move). The SA then refines the
     // best starting point.
+    DlsaEncoding cand;
     for (TilePos lead : {2, 4, 8, 16, 32}) {
         for (TilePos lag : {2, 4}) {
-            DlsaEncoding cand = MakeSlackDlsa(parsed, lead, lag);
-            double cand_cost = evaluate(cand);
+            MakeSlackDlsaInto(parsed, lead, lag, &cand);
+            double cand_cost = evaluate_serial(cand);
             if (cand_cost < result.cost) {
-                result.dlsa = std::move(cand);
+                result.dlsa = cand;
                 result.cost = cand_cost;
             }
         }
     }
 
     SaOptions sa = opts.sa;
-    sa.iterations = std::min<std::int64_t>(
+    sa.iterations = static_cast<int>(std::min<std::int64_t>(
         opts.max_iterations,
         static_cast<std::int64_t>(opts.beta) *
-            std::max(1, parsed.NumTensors()));
+            std::max(1, parsed.NumTensors())));
 
-    std::function<bool(const DlsaEncoding &, DlsaEncoding *, Rng &)> mut =
-        [&](const DlsaEncoding &cur, DlsaEncoding *next, Rng &r) {
-            return MutateDlsa(parsed, picker, cur, next, r);
+    // Each chain owns an EvalContext whose committed base tracks the
+    // chain's current state, so candidate evaluation resumes the
+    // timeline from the earliest slot the mutation touched.
+    auto make_env = [&](int /*chain*/) {
+        ChainEnv<DlsaEncoding> env;
+        auto ctx = std::make_shared<EvalContext>();
+        auto delta = std::make_shared<DlsaDelta>();
+        env.mutate = [mutator, delta](const DlsaEncoding &cur,
+                                      DlsaEncoding *next, Rng &r) {
+            return (*mutator)(cur, next, r, delta.get());
         };
-    std::function<double(const DlsaEncoding &)> eval = evaluate;
-    result.stats = RunSa<DlsaEncoding>(&result.dlsa, &result.cost, mut, eval,
-                                       sa, rng);
+        env.evaluate = [&graph, &hw, &parsed, buffer_budget, total_ops,
+                        ctx, delta, n = opts.cost_n,
+                        m = opts.cost_m](const DlsaEncoding &d) {
+            const EvalReport &rep = ctx->EvaluateDelta(
+                graph, hw, parsed, d, *delta, buffer_budget, total_ops);
+            delta->kind = DlsaDelta::Kind::kNone;  // consumed
+            return rep.Cost(n, m);
+        };
+        env.on_accept = [ctx](const DlsaEncoding &) { ctx->Commit(); };
+        env.on_adopt = [&graph, &hw, &parsed, buffer_budget, total_ops,
+                        ctx](const DlsaEncoding &d, double) {
+            ctx->Evaluate(graph, hw, parsed, d, buffer_budget, total_ops);
+            ctx->Commit();
+        };
+        return env;
+    };
+
+    result.stats = RunDriverAndAdopt<DlsaEncoding>(
+        make_env, sa, opts.driver, rng, &result.dlsa, &result.cost);
     result.report = EvaluateSchedule(graph, hw, parsed, result.dlsa,
                                      buffer_budget, total_ops);
     return result;

@@ -10,10 +10,33 @@
 
 #include "notation/encoding.h"
 #include "notation/parser.h"
+#include "search/driver.h"
 #include "search/sa.h"
+#include "sim/eval_context.h"
 #include "sim/report.h"
 
 namespace soma {
+
+/**
+ * The stage's mutation operator: picks a tensor with probability
+ * proportional to its size and either moves it to another legal rank in
+ * the DRAM Tensor Order or re-draws its Living Duration endpoint. The
+ * move is described in a DlsaDelta so an EvalContext can re-evaluate
+ * only the affected timeline suffix. Exposed for the regression tests
+ * and the SA-throughput bench.
+ */
+class DlsaMutator {
+  public:
+    explicit DlsaMutator(const ParsedSchedule &parsed);
+
+    /** Propose a neighbour of @p cur (false: no legal move found). */
+    bool operator()(const DlsaEncoding &cur, DlsaEncoding *next, Rng &rng,
+                    DlsaDelta *delta) const;
+
+  private:
+    const ParsedSchedule &parsed_;
+    std::vector<double> weights_;  ///< per-tensor byte sizes
+};
 
 /** Hyperparameters of the DLSA stage. */
 struct DlsaStageOptions {
@@ -22,6 +45,7 @@ struct DlsaStageOptions {
     double cost_n = 1.0;
     double cost_m = 1.0;
     SaOptions sa;
+    SearchDriverOptions driver;
 };
 
 /** Best DLSA found for the given parse. */

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "search/dlsa_heuristics.h"
+#include "sim/eval_context.h"
 #include "sim/evaluator.h"
 
 namespace soma {
@@ -152,19 +154,36 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
 {
     const Ops total_ops = graph.TotalOps();
 
-    auto evaluate = [&](const LfaEncoding &lfa) -> double {
-        ParsedSchedule parsed = ParseLfa(graph, lfa, core_eval);
+    // One evaluation = parse + classical double-buffer DLSA (lazy
+    // fallback under tight budgets). The context keeps parse and
+    // timeline scratch alive across candidates; @p ce must be the
+    // chain's own CoreArrayEvaluator (its memo is not thread safe).
+    auto eval_with = [&graph, &hw, stage_budget, total_ops,
+                      n = opts.cost_n, m = opts.cost_m](
+                         EvalContext &ctx, CoreArrayEvaluator &ce,
+                         DlsaEncoding &dlsa_scratch,
+                         const LfaEncoding &lfa) -> double {
+        const ParsedSchedule &parsed = ctx.Parse(graph, lfa, ce);
         if (!parsed.valid) return std::numeric_limits<double>::infinity();
-        DlsaEncoding dlsa = MakeDoubleBufferDlsa(parsed);
-        EvalReport rep = EvaluateSchedule(graph, hw, parsed, dlsa,
-                                          stage_budget, total_ops);
-        if (!rep.valid) {
-            // A tight budget may only fit the lazy variant.
-            dlsa = MakeLazyDlsa(parsed);
-            rep = EvaluateSchedule(graph, hw, parsed, dlsa, stage_budget,
-                                   total_ops);
+        MakeDoubleBufferDlsaInto(parsed, &dlsa_scratch);
+        {
+            const EvalReport &rep =
+                ctx.Evaluate(graph, hw, parsed, dlsa_scratch, stage_budget,
+                             total_ops);
+            if (rep.valid) return rep.Cost(n, m);
         }
-        return rep.Cost(opts.cost_n, opts.cost_m);
+        // A tight budget may only fit the lazy variant.
+        MakeLazyDlsaInto(parsed, &dlsa_scratch);
+        const EvalReport &rep = ctx.Evaluate(graph, hw, parsed,
+                                             dlsa_scratch, stage_budget,
+                                             total_ops);
+        return rep.Cost(n, m);
+    };
+
+    EvalContext serial_ctx;
+    DlsaEncoding serial_dlsa;
+    auto evaluate = [&](const LfaEncoding &lfa) -> double {
+        return eval_with(serial_ctx, core_eval, serial_dlsa, lfa);
     };
 
     LfaStageResult result;
@@ -208,14 +227,25 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
     sa.iterations = std::min(opts.max_iterations,
                              opts.beta * graph.NumLayers());
 
-    std::function<bool(const LfaEncoding &, LfaEncoding *, Rng &)> mut =
-        [&](const LfaEncoding &cur, LfaEncoding *next, Rng &r) {
-            return MutateLfaEncoding(graph, cur, next, opts.tiling_cap,
-                                     r);
+    // Anneal K chains; each owns a CoreArrayEvaluator (the tile-cost
+    // memo is per-thread) and an EvalContext of parse/eval scratch.
+    auto make_env = [&](int /*chain*/) {
+        ChainEnv<LfaEncoding> env;
+        auto ce = std::make_shared<CoreArrayEvaluator>(graph, hw);
+        auto ctx = std::make_shared<EvalContext>();
+        auto dlsa = std::make_shared<DlsaEncoding>();
+        env.mutate = [&graph, cap = opts.tiling_cap](const LfaEncoding &cur,
+                                                     LfaEncoding *next,
+                                                     Rng &r) {
+            return MutateLfaEncoding(graph, cur, next, cap, r);
         };
-    std::function<double(const LfaEncoding &)> eval = evaluate;
-    result.stats = RunSa<LfaEncoding>(&result.lfa, &result.cost, mut, eval,
-                                      sa, rng);
+        env.evaluate = [eval_with, ce, ctx, dlsa](const LfaEncoding &lfa) {
+            return eval_with(*ctx, *ce, *dlsa, lfa);
+        };
+        return env;
+    };
+    result.stats = RunDriverAndAdopt<LfaEncoding>(
+        make_env, sa, opts.driver, rng, &result.lfa, &result.cost);
 
     // Materialize the winning scheme once more for the caller.
     result.parsed = ParseLfa(graph, result.lfa, core_eval);

@@ -11,6 +11,7 @@
 #include "corearray/core_array.h"
 #include "notation/encoding.h"
 #include "notation/parser.h"
+#include "search/driver.h"
 #include "search/sa.h"
 #include "sim/report.h"
 
@@ -32,6 +33,7 @@ struct LfaStageOptions {
      */
     bool greedy_seed = true;
     SaOptions sa;
+    SearchDriverOptions driver;
 };
 
 /** Best scheme found by one LFA stage run. */

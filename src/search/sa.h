@@ -4,6 +4,12 @@
  * the Cocco baseline (Sec. V-C): temperature schedule
  * Tn = T0 * (1 - n/N) / (1 + alpha * n/N), acceptance probability
  * p = exp((c - c') / (c * Tn)) for worse candidates.
+ *
+ * Two entry points: RunSa anneals a full budget in one call; RunSaWindow
+ * anneals one iteration window [begin, end) of the budget so that the
+ * SearchDriver (search/driver.h) can interleave windows of several
+ * chains with best-state exchanges while keeping one global temperature
+ * schedule.
  */
 #ifndef SOMA_SEARCH_SA_H
 #define SOMA_SEARCH_SA_H
@@ -33,20 +39,79 @@ double SaTemperature(const SaOptions &opts, int n);
 bool SaAccept(double c, double c_new, double temperature, bool greedy,
               Rng &rng);
 
-/** Bookkeeping returned by RunSa. */
+/**
+ * Bookkeeping returned by RunSa. Every iteration of the budget is
+ * accounted for: iterations == no_move + evaluated and
+ * evaluated == accepted + rejected.
+ */
 struct SaStats {
-    int iterations = 0;
-    int accepted = 0;
-    int improved = 0;
+    int iterations = 0;  ///< budget consumed (incl. failed mutations)
+    int evaluated = 0;   ///< candidates actually evaluated
+    int no_move = 0;     ///< mutations that produced no candidate
+    int accepted = 0;    ///< evaluated and accepted
+    int rejected = 0;    ///< evaluated and rejected
+    int improved = 0;    ///< accepted and new best
     double initial_cost = std::numeric_limits<double>::infinity();
     double best_cost = std::numeric_limits<double>::infinity();
 };
 
 /**
- * Generic annealer. @p mutate proposes a neighbour (returning false to
- * signal "no move possible"); @p evaluate returns the cost (+inf for
+ * Anneal iterations [begin, end) of the opts.iterations-long schedule.
+ *
+ * @p current / @p current_cost is the walking state, @p best /
+ * @p best_cost the best state ever seen; both are updated in place so a
+ * later window (or another chain, via the SearchDriver's exchange)
+ * can continue the walk. @p mutate proposes a neighbour (returning false
+ * to signal "no move possible"); @p evaluate returns the cost (+inf for
  * invalid schemes, which are then rejected unless the current state is
- * itself invalid). Keeps and returns the best state ever seen.
+ * itself invalid). @p on_accept, when set, fires right after a candidate
+ * is accepted — the hook incremental evaluation contexts use to promote
+ * the candidate's scratch state to the new base (EvalContext::Commit).
+ * Counters are accumulated into @p stats.
+ */
+template <typename State>
+void
+RunSaWindow(State *current, double *current_cost, State *best,
+            double *best_cost,
+            const std::function<bool(const State &, State *, Rng &)> &mutate,
+            const std::function<double(const State &)> &evaluate,
+            const SaOptions &opts, Rng &rng, int begin, int end,
+            SaStats *stats,
+            const std::function<void(const State &)> &on_accept = nullptr)
+{
+    const int greedy_from =
+        opts.iterations - static_cast<int>(opts.iterations *
+                                           opts.greedy_tail);
+    State candidate;  // hoisted: reuses its capacity across iterations
+    for (int n = begin; n < end; ++n) {
+        ++stats->iterations;
+        if (!mutate(*current, &candidate, rng)) {
+            ++stats->no_move;
+            continue;
+        }
+        double cand_cost = evaluate(candidate);
+        ++stats->evaluated;
+        double temp = SaTemperature(opts, n);
+        bool greedy = n >= greedy_from;
+        if (SaAccept(*current_cost, cand_cost, temp, greedy, rng)) {
+            std::swap(*current, candidate);
+            *current_cost = cand_cost;
+            ++stats->accepted;
+            if (on_accept) on_accept(*current);
+            if (*current_cost < *best_cost) {
+                *best = *current;
+                *best_cost = *current_cost;
+                ++stats->improved;
+            }
+        } else {
+            ++stats->rejected;
+        }
+    }
+}
+
+/**
+ * Generic single-chain annealer over the full budget. Keeps and returns
+ * the best state ever seen.
  */
 template <typename State>
 SaStats
@@ -61,28 +126,8 @@ RunSa(State *state, double *cost,
     double best_cost = *cost;
     State current = *state;
     double current_cost = *cost;
-
-    const int greedy_from =
-        opts.iterations - static_cast<int>(opts.iterations *
-                                           opts.greedy_tail);
-    for (int n = 0; n < opts.iterations; ++n) {
-        State candidate;
-        if (!mutate(current, &candidate, rng)) continue;
-        double cand_cost = evaluate(candidate);
-        ++stats.iterations;
-        double temp = SaTemperature(opts, n);
-        bool greedy = n >= greedy_from;
-        if (SaAccept(current_cost, cand_cost, temp, greedy, rng)) {
-            current = std::move(candidate);
-            current_cost = cand_cost;
-            ++stats.accepted;
-            if (current_cost < best_cost) {
-                best = current;
-                best_cost = current_cost;
-                ++stats.improved;
-            }
-        }
-    }
+    RunSaWindow<State>(&current, &current_cost, &best, &best_cost, mutate,
+                       evaluate, opts, rng, 0, opts.iterations, &stats);
     *state = std::move(best);
     *cost = best_cost;
     stats.best_cost = best_cost;

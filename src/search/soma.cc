@@ -21,6 +21,7 @@ DefaultSomaOptions(std::uint64_t seed)
 {
     SomaOptions opts;
     opts.seed = seed;
+    opts.driver.chains = 4;
     opts.lfa.beta = 40;
     opts.lfa.max_iterations = 6000;
     opts.dlsa.beta = 40;

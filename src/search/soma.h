@@ -24,17 +24,24 @@ struct SomaOptions {
     double cost_m = 1.0;
     std::uint64_t seed = 1;
 
+    /** Parallel multi-seed search configuration, applied to both
+     *  stages. Results are deterministic in (seed, driver.chains) and
+     *  independent of driver.threads. */
+    SearchDriverOptions driver;
+
     LfaStageOptions lfa;
     DlsaStageOptions dlsa;
     BufferAllocatorOptions alloc;
 
-    /** Propagate cost exponents into the stage options. */
+    /** Propagate cost exponents and driver config into the stages. */
     void Finalize()
     {
         lfa.cost_n = cost_n;
         lfa.cost_m = cost_m;
         dlsa.cost_n = cost_n;
         dlsa.cost_m = cost_m;
+        lfa.driver = driver;
+        dlsa.driver = driver;
     }
 };
 

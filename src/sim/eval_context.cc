@@ -1,0 +1,442 @@
+#include "sim/eval_context.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace soma {
+
+void
+ComputeBufferBySlot(const ParsedSchedule &parsed,
+                    const std::vector<TilePos> &free_point,
+                    std::vector<Bytes> *diff, std::vector<Bytes> *usage)
+{
+    const int slots = parsed.NumTiles();
+    diff->assign(slots + 1, 0);
+    auto add = [&](TilePos from, TilePos to, Bytes bytes) {
+        from = std::clamp<TilePos>(from, 0, slots);
+        to = std::clamp<TilePos>(to, 0, slots);
+        if (from >= to) return;
+        (*diff)[from] += bytes;
+        (*diff)[to] -= bytes;
+    };
+    for (const OnchipInterval &iv : parsed.onchip)
+        add(iv.from, iv.to, iv.bytes);
+    for (int j = 0; j < parsed.NumTensors(); ++j) {
+        const DramTensor &t = parsed.tensors[j];
+        if (t.IsLoad()) {
+            add(free_point[j], t.fixed_end, t.bytes);
+        } else {
+            add(t.first_use, free_point[j], t.bytes);
+        }
+    }
+    usage->assign(slots, 0);
+    Bytes run = 0;
+    for (int s = 0; s < slots; ++s) {
+        run += (*diff)[s];
+        (*usage)[s] = run;
+    }
+}
+
+const ParsedSchedule &
+EvalContext::Parse(const Graph &graph, const LfaEncoding &lfa,
+                   CoreArrayEvaluator &core_eval, const ParseOptions &popts)
+{
+    InvalidateBase();
+    ParseLfaInto(graph, lfa, core_eval, popts, &parse_scratch_,
+                 &parsed_storage_);
+    return parsed_storage_;
+}
+
+void
+EvalContext::ResetAggregates(EvalReport *rep)
+{
+    rep->latency = std::numeric_limits<double>::infinity();
+    rep->core_energy_j = 0.0;
+    rep->dram_energy_j = 0.0;
+    rep->compute_busy = 0.0;
+    rep->dram_busy = 0.0;
+    rep->compute_util = 0.0;
+    rep->dram_util = 0.0;
+    rep->theory_max_util = 0.0;
+    rep->avg_buffer = 0.0;
+    rep->dram_bytes = 0;
+}
+
+void
+EvalContext::ResetReportForEval(const ParsedSchedule &parsed, EvalReport *rep)
+{
+    rep->valid = false;
+    rep->why_invalid.clear();
+    ResetAggregates(rep);
+    rep->peak_buffer = 0;
+    rep->num_tiles = parsed.NumTiles();
+    rep->num_tensors = parsed.NumTensors();
+    rep->num_flgs = parsed.num_flgs;
+    rep->num_lgs = parsed.num_lgs;
+    rep->tile_times.clear();
+    rep->tensor_times.clear();
+}
+
+void
+EvalContext::RebuildStoreBuckets(const ParsedSchedule &parsed,
+                                 const Side &side)
+{
+    const int T = parsed.NumTiles();
+    stores_by_end_.resize(T + 1);
+    for (auto &bucket : stores_by_end_) bucket.clear();
+    for (int j = 0; j < parsed.NumTensors(); ++j) {
+        if (!parsed.tensors[j].IsLoad())
+            stores_by_end_[side.free_point[j]].push_back(j);
+    }
+    pending_move_ = false;
+}
+
+void
+EvalContext::ApplyStoreMove(int tensor, TilePos from, TilePos to)
+{
+    std::vector<int> &src = stores_by_end_[from];
+    auto it = std::find(src.begin(), src.end(), tensor);
+    assert(it != src.end());
+    src.erase(it);
+    stores_by_end_[to].push_back(tensor);
+    pending_move_ = true;
+    pending_tensor_ = tensor;
+    pending_from_ = from;
+    pending_to_ = to;
+}
+
+void
+EvalContext::RevertPendingStoreMove()
+{
+    if (!pending_move_) return;
+    std::vector<int> &dst = stores_by_end_[pending_to_];
+    auto it = std::find(dst.begin(), dst.end(), pending_tensor_);
+    assert(it != dst.end());
+    dst.erase(it);
+    stores_by_end_[pending_from_].push_back(pending_tensor_);
+    pending_move_ = false;
+}
+
+bool
+EvalContext::RunTimeline(const ParsedSchedule &parsed,
+                         const HardwareConfig &hw, Side *side, int ci,
+                         int di, double dram_prev_finish)
+{
+    const int T = parsed.NumTiles();
+    const int D = parsed.NumTensors();
+    EvalReport &rep = side->report;
+
+    while (ci < T || di < D) {
+        bool progress = false;
+
+        // DRAM head: a load waits for tiles before its Start; a store
+        // waits for its producing tile.
+        while (di < D) {
+            int j = side->order[di];
+            const DramTensor &t = parsed.tensors[j];
+            double ready;
+            if (t.IsLoad()) {
+                TilePos s = side->free_point[j];
+                if (s > ci) break;  // tiles before Start not yet scheduled
+                ready = (s == 0) ? 0.0 : side->tile_finish[s - 1];
+            } else {
+                if (t.first_use >= ci) break;  // producer not scheduled
+                ready = side->tile_finish[t.first_use];
+            }
+            double start = std::max(dram_prev_finish, ready);
+            double finish = start + hw.DramSeconds(t.bytes);
+            rep.tensor_times[j] = EventTiming{start, finish};
+            side->tensor_finish[j] = finish;
+            side->ci_at_rank[di] = ci;
+            dram_prev_finish = finish;
+            ++di;
+            progress = true;
+        }
+
+        // Compute head: waits for the previous tile, its operand loads,
+        // and all stores whose End equals this tile.
+        while (ci < T) {
+            const TileInfo &tile = parsed.tiles[ci];
+            double start = (ci == 0) ? 0.0 : side->tile_finish[ci - 1];
+            bool blocked = false;
+            for (int j : tile.need_loads) {
+                if (side->tensor_finish[j] < 0.0) { blocked = true; break; }
+                start = std::max(start, side->tensor_finish[j]);
+            }
+            if (!blocked) {
+                for (int j : stores_by_end_[ci]) {
+                    if (side->tensor_finish[j] < 0.0) {
+                        blocked = true;
+                        break;
+                    }
+                    start = std::max(start, side->tensor_finish[j]);
+                }
+            }
+            if (blocked) break;
+            double finish = start + tile.cost.seconds;
+            rep.tile_times[ci] = EventTiming{start, finish};
+            side->tile_finish[ci] = finish;
+            side->rank_at_tile[ci] = di;
+            ++ci;
+            progress = true;
+        }
+
+        if (!progress) return false;
+    }
+    return true;
+}
+
+void
+EvalContext::FinalizeAggregates(const ParsedSchedule &parsed,
+                                const HardwareConfig &hw, Ops total_ops,
+                                Side *side)
+{
+    EvalReport &rep = side->report;
+    const int T = parsed.NumTiles();
+
+    double makespan = 0.0;
+    for (double f : side->tile_finish) makespan = std::max(makespan, f);
+    for (double f : side->tensor_finish) makespan = std::max(makespan, f);
+    rep.latency = makespan;
+
+    double core_pj = 0.0;
+    double compute_busy = 0.0;
+    for (const TileInfo &t : parsed.tiles) {
+        core_pj += t.cost.energy_pj;
+        compute_busy += t.cost.seconds;
+    }
+    rep.compute_busy = compute_busy;
+
+    Bytes dram_bytes = parsed.TotalDramBytes();
+    rep.dram_bytes = dram_bytes;
+    rep.dram_busy = hw.DramSeconds(dram_bytes);
+    rep.core_energy_j = core_pj * 1e-12;
+    rep.dram_energy_j = static_cast<double>(dram_bytes) *
+                        hw.energy.dram_pj_per_byte * 1e-12;
+
+    double peak_ops = hw.PeakOpsPerSecond();
+    rep.compute_util = static_cast<double>(total_ops) /
+                       (peak_ops * rep.latency);
+    rep.dram_util = rep.dram_busy / rep.latency;
+    double bound = std::max(rep.compute_busy, rep.dram_busy);
+    rep.theory_max_util =
+        bound > 0.0 ? static_cast<double>(total_ops) / (peak_ops * bound)
+                    : 0.0;
+
+    // Compute-time-weighted average buffer usage (Fig. 6 definition).
+    double weighted = 0.0;
+    for (int s = 0; s < T; ++s)
+        weighted += static_cast<double>(side->usage[s]) *
+                    parsed.tiles[s].cost.seconds;
+    rep.avg_buffer = compute_busy > 0.0 ? weighted / compute_busy : 0.0;
+}
+
+const EvalReport &
+EvalContext::Evaluate(const Graph &graph, const HardwareConfig &hw,
+                      const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
+                      Bytes buffer_budget, Ops total_ops)
+{
+    (void)graph;
+    // A full evaluation rebuilds the store buckets for the candidate, so
+    // the base's buckets are gone: the base is unusable from here on.
+    pending_move_ = false;
+    base_ok_ = false;
+
+    Side &side = sides_[cand_];
+    EvalReport &rep = side.report;
+    ResetReportForEval(parsed, &rep);
+    cand_fresh_ = false;
+
+    if (!parsed.valid) {
+        rep.why_invalid = parsed.why_invalid;
+        return rep;
+    }
+    if (!DlsaValid(parsed, dlsa, &why_scratch_, &check_scratch_)) {
+        rep.why_invalid = "dlsa: " + why_scratch_;
+        return rep;
+    }
+
+    side.order = dlsa.order;
+    side.free_point = dlsa.free_point;
+    const int T = parsed.NumTiles();
+    const int D = parsed.NumTensors();
+    side.rank_of.assign(D, 0);
+    for (int r = 0; r < D; ++r) side.rank_of[side.order[r]] = r;
+
+    // --- Buffer feasibility (slot-based, Fig. 4 BUFFER row) ---
+    ComputeBufferBySlot(parsed, side.free_point, &diff_, &side.usage);
+    Bytes peak = 0;
+    for (Bytes b : side.usage) peak = std::max(peak, b);
+    rep.peak_buffer = peak;
+    if (peak > buffer_budget) {
+        rep.why_invalid = "buffer overflow";
+        return rep;
+    }
+
+    RebuildStoreBuckets(parsed, side);
+
+    // --- Two serial resources, two-pointer list scheduling ---
+    side.tile_finish.assign(T, 0.0);
+    side.tensor_finish.assign(D, -1.0);
+    side.ci_at_rank.assign(D, 0);
+    side.rank_at_tile.assign(T, 0);
+    rep.tile_times.assign(T, EventTiming{});
+    rep.tensor_times.assign(D, EventTiming{});
+
+    cand_fresh_ = true;
+    base_parsed_ = &parsed;
+    base_budget_ = buffer_budget;
+    base_ops_ = total_ops;
+
+    if (!RunTimeline(parsed, hw, &side, 0, 0, 0.0)) {
+        rep.why_invalid = "schedule deadlock (DLSA order)";
+        return rep;
+    }
+
+    FinalizeAggregates(parsed, hw, total_ops, &side);
+    rep.valid = true;
+    return rep;
+}
+
+const EvalReport &
+EvalContext::EvaluateDelta(const Graph &graph, const HardwareConfig &hw,
+                           const ParsedSchedule &parsed,
+                           const DlsaEncoding &cand, const DlsaDelta &delta,
+                           Bytes buffer_budget, Ops total_ops)
+{
+    RevertPendingStoreMove();
+    if (!base_ok_ || base_parsed_ != &parsed ||
+        base_budget_ != buffer_budget || base_ops_ != total_ops ||
+        delta.kind == DlsaDelta::Kind::kNone) {
+        return Evaluate(graph, hw, parsed, cand, buffer_budget, total_ops);
+    }
+
+    const Side &base = sides_[base_];
+    Side &side = sides_[cand_];
+    EvalReport &rep = side.report;
+    const int T = parsed.NumTiles();
+    const int D = parsed.NumTensors();
+
+    // Copy the base result; the suffix is overwritten below.
+    rep = base.report;
+    rep.valid = false;
+    rep.why_invalid.clear();
+    side.tile_finish = base.tile_finish;
+    side.tensor_finish = base.tensor_finish;
+    side.ci_at_rank = base.ci_at_rank;
+    side.rank_at_tile = base.rank_at_tile;
+    side.usage = base.usage;
+    side.rank_of = base.rank_of;
+    side.order = cand.order;
+    side.free_point = cand.free_point;
+    cand_fresh_ = true;
+
+    int ci0 = 0;
+    int di0 = 0;
+    bool timing_unchanged = false;
+
+    if (delta.kind == DlsaDelta::Kind::kFreePoint) {
+        assert(delta.tensor >= 0 && delta.tensor < D);
+        const DramTensor &t = parsed.tensors[delta.tensor];
+
+        // Patch the occupancy array: a load lives in [Start, fixed_end),
+        // a store in [first_use, End); only the slots between the old
+        // and new endpoint change, by +/- the tensor's bytes.
+        const TilePos lo =
+            std::clamp<TilePos>(std::min(delta.old_point, delta.new_point),
+                                0, T);
+        const TilePos hi =
+            std::clamp<TilePos>(std::max(delta.old_point, delta.new_point),
+                                0, T);
+        const bool grew = t.IsLoad() ? delta.new_point < delta.old_point
+                                     : delta.new_point > delta.old_point;
+        const Bytes signed_bytes = grew ? t.bytes : -t.bytes;
+        for (TilePos s = lo; s < hi; ++s) side.usage[s] += signed_bytes;
+
+        Bytes peak = 0;
+        for (Bytes b : side.usage) peak = std::max(peak, b);
+        rep.peak_buffer = peak;
+        if (peak > buffer_budget) {
+            // Mirror the full evaluator's early buffer-overflow report.
+            ResetAggregates(&rep);
+            rep.tile_times.clear();
+            rep.tensor_times.clear();
+            rep.why_invalid = "buffer overflow";
+            return rep;
+        }
+
+        if (t.IsLoad()) {
+            // Only the load's own readiness changed: resume where the
+            // base timeline issued it.
+            di0 = base.rank_of[delta.tensor];
+            ci0 = base.ci_at_rank[di0];
+        } else {
+            // The store now gates a different tile slot: resume at the
+            // earlier of the two affected slots. End slots >= NumTiles
+            // never gate a tile, so timing is unchanged there.
+            ApplyStoreMove(delta.tensor, delta.old_point, delta.new_point);
+            TilePos tstar = std::min(delta.old_point, delta.new_point);
+            if (tstar >= T) {
+                timing_unchanged = true;
+            } else {
+                ci0 = tstar;
+                di0 = base.rank_at_tile[tstar];
+            }
+        }
+    } else {  // kOrderMove
+        assert(delta.from_rank >= 0 && delta.from_rank < D);
+        assert(delta.to_rank >= 0 && delta.to_rank < D);
+        const int rmin = std::min(delta.from_rank, delta.to_rank);
+        const int rmax = std::max(delta.from_rank, delta.to_rank);
+        for (int r = rmin; r <= rmax; ++r) side.rank_of[side.order[r]] = r;
+        di0 = rmin;
+        ci0 = base.ci_at_rank[di0];
+    }
+
+    if (!timing_unchanged) {
+        // Invalidate the suffix: ranks >= di0 and tiles >= ci0 are
+        // recomputed by the resumed timeline.
+        for (int r = di0; r < D; ++r) {
+            int j = side.order[r];
+            side.tensor_finish[j] = -1.0;
+            rep.tensor_times[j] = EventTiming{};
+        }
+        for (int t2 = ci0; t2 < T; ++t2) {
+            side.tile_finish[t2] = 0.0;
+            rep.tile_times[t2] = EventTiming{};
+        }
+        double dram_prev =
+            di0 > 0 ? side.tensor_finish[side.order[di0 - 1]] : 0.0;
+        if (!RunTimeline(parsed, hw, &side, ci0, di0, dram_prev)) {
+            ResetAggregates(&rep);
+            rep.why_invalid = "schedule deadlock (DLSA order)";
+            return rep;
+        }
+    }
+
+    FinalizeAggregates(parsed, hw, total_ops, &side);
+    rep.valid = true;
+    return rep;
+}
+
+void
+EvalContext::Commit()
+{
+    if (!cand_fresh_) return;
+    std::swap(cand_, base_);
+    cand_fresh_ = false;
+    pending_move_ = false;  // the buckets now describe the new base
+    base_ok_ = sides_[base_].report.valid;
+}
+
+void
+EvalContext::InvalidateBase()
+{
+    base_ok_ = false;
+    cand_fresh_ = false;
+    pending_move_ = false;
+    base_parsed_ = nullptr;
+}
+
+}  // namespace soma

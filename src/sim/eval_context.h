@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Incremental evaluation engine for the SA inner loop.
+ *
+ * The paper's search evaluates millions of candidate schemes; the seed
+ * implementation rebuilt every per-candidate data structure (parsed
+ * schedule, buffer difference array, DRAM/compute timelines) from
+ * scratch for each one. An EvalContext owns all of that scratch state
+ * per search thread, so repeated evaluations are allocation-free after
+ * warm-up, and it supports *incremental* re-evaluation for DLSA-only
+ * mutations: a single free-point or order move only invalidates the
+ * suffix of the two-pointer list schedule from the earliest affected
+ * slot, so the unchanged prefix of the timeline is reused verbatim.
+ *
+ * Incremental results are bit-identical to full evaluation: the resumed
+ * timeline executes the same recurrences on the same operands, and the
+ * integer buffer-occupancy array is patched exactly.
+ */
+#ifndef SOMA_SIM_EVAL_CONTEXT_H
+#define SOMA_SIM_EVAL_CONTEXT_H
+
+#include <string>
+#include <vector>
+
+#include "hw/hardware.h"
+#include "notation/parser.h"
+#include "sim/report.h"
+
+namespace soma {
+
+/**
+ * How a candidate DLSA differs from an EvalContext's committed base.
+ * Produced by the DLSA mutation operators; consumed by
+ * EvalContext::EvaluateDelta.
+ */
+struct DlsaDelta {
+    enum class Kind {
+        kNone,       ///< unknown / not a single-move delta: full evaluation
+        kOrderMove,  ///< `tensor` moved from `from_rank` to `to_rank`
+        kFreePoint,  ///< `tensor`'s free endpoint moved old->new
+    };
+    Kind kind = Kind::kNone;
+    int tensor = -1;
+    int from_rank = -1;       ///< kOrderMove: rank of `tensor` in the base
+    int to_rank = -1;         ///< kOrderMove: rank of `tensor` in the cand
+    TilePos old_point = 0;    ///< kFreePoint: base free endpoint
+    TilePos new_point = 0;    ///< kFreePoint: candidate free endpoint
+};
+
+/**
+ * Buffer occupancy per tile slot via a difference array. Slots are
+ * [0, NumTiles()); shared by PeakBufferUsage and the EvalContext.
+ */
+void ComputeBufferBySlot(const ParsedSchedule &parsed,
+                         const std::vector<TilePos> &free_point,
+                         std::vector<Bytes> *diff, std::vector<Bytes> *usage);
+
+/**
+ * Per-thread evaluation context. Typical SA usage:
+ *
+ *   ctx.Evaluate(...);          // full evaluation of the initial state
+ *   ctx.Commit();               // make it the incremental base
+ *   loop:
+ *     mutate -> delta
+ *     ctx.EvaluateDelta(...);   // suffix-only re-evaluation
+ *     if accepted: ctx.Commit();
+ *
+ * Not thread safe; create one per search chain.
+ */
+class EvalContext {
+  public:
+    /**
+     * Parse an LFA with reusable scratch. The returned reference stays
+     * owned by the context and is overwritten by the next Parse call.
+     * Invalidates the incremental base.
+     */
+    const ParsedSchedule &Parse(const Graph &graph, const LfaEncoding &lfa,
+                                CoreArrayEvaluator &core_eval,
+                                const ParseOptions &popts = {});
+
+    /**
+     * Full evaluation (semantics of EvaluateSchedule) into the context's
+     * reusable report. The returned reference is overwritten by the next
+     * evaluation.
+     */
+    const EvalReport &Evaluate(const Graph &graph, const HardwareConfig &hw,
+                               const ParsedSchedule &parsed,
+                               const DlsaEncoding &dlsa, Bytes buffer_budget,
+                               Ops total_ops);
+
+    /**
+     * Evaluate a candidate that differs from the committed base by
+     * @p delta. Resumes the two-pointer timeline from the earliest
+     * affected (tile, rank) checkpoint instead of replaying it from
+     * slot 0. Falls back to Evaluate when there is no usable base (not
+     * committed, different parse/budget, or delta.kind == kNone).
+     *
+     * Precondition: @p cand is a legal DLSA (the mutation operators only
+     * produce legal moves); the data-existence check is skipped here.
+     */
+    const EvalReport &EvaluateDelta(const Graph &graph,
+                                    const HardwareConfig &hw,
+                                    const ParsedSchedule &parsed,
+                                    const DlsaEncoding &cand,
+                                    const DlsaDelta &delta,
+                                    Bytes buffer_budget, Ops total_ops);
+
+    /** Promote the last evaluated candidate to the incremental base. */
+    void Commit();
+
+    /** Drop the incremental base (e.g. after adopting a foreign state). */
+    void InvalidateBase();
+
+    /** Whether EvaluateDelta currently has a usable base. */
+    bool HasBase() const { return base_ok_; }
+
+  private:
+    /** One copy of all per-evaluation result state. Two instances are
+     *  kept so a candidate can be evaluated without clobbering the base
+     *  it resumes from; Commit swaps them. */
+    struct Side {
+        EvalReport report;
+        std::vector<double> tile_finish;
+        std::vector<double> tensor_finish;  ///< -1: unscheduled
+        std::vector<int> ci_at_rank;   ///< compute head when rank issued
+        std::vector<int> rank_at_tile; ///< DRAM head when tile issued
+        std::vector<Bytes> usage;      ///< buffer occupancy per slot
+        std::vector<int> order;        ///< DLSA copy (rank -> tensor)
+        std::vector<int> rank_of;      ///< inverse of order
+        std::vector<TilePos> free_point;
+    };
+
+    void ResetReportForEval(const ParsedSchedule &parsed, EvalReport *rep);
+    static void ResetAggregates(EvalReport *rep);
+    bool RunTimeline(const ParsedSchedule &parsed, const HardwareConfig &hw,
+                     Side *side, int ci, int di, double dram_prev_finish);
+    void FinalizeAggregates(const ParsedSchedule &parsed,
+                            const HardwareConfig &hw, Ops total_ops,
+                            Side *side);
+    void RebuildStoreBuckets(const ParsedSchedule &parsed, const Side &side);
+    void ApplyStoreMove(int tensor, TilePos from, TilePos to);
+    void RevertPendingStoreMove();
+
+    ParseScratch parse_scratch_;
+    ParsedSchedule parsed_storage_;
+    DlsaCheckScratch check_scratch_;
+    std::string why_scratch_;
+
+    std::vector<Bytes> diff_;
+    /** Stores indexed by their End slot, kept in sync with the *base*
+     *  free points (plus at most one pending candidate move). */
+    std::vector<std::vector<int>> stores_by_end_;
+
+    Side sides_[2];
+    int cand_ = 0;  ///< side written by the next evaluation
+    int base_ = 1;  ///< side holding the committed base
+
+    const ParsedSchedule *base_parsed_ = nullptr;
+    Bytes base_budget_ = -1;
+    Ops base_ops_ = -1;
+    bool base_ok_ = false;
+    bool cand_fresh_ = false;  ///< cand side holds an uncommitted result
+
+    bool pending_move_ = false;
+    int pending_tensor_ = -1;
+    TilePos pending_from_ = 0;
+    TilePos pending_to_ = 0;
+};
+
+}  // namespace soma
+
+#endif  // SOMA_SIM_EVAL_CONTEXT_H

@@ -1,56 +1,21 @@
 #include "sim/evaluator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <limits>
 #include <vector>
 
+#include "sim/eval_context.h"
+
 namespace soma {
-
-namespace {
-
-/**
- * Buffer occupancy per tile slot via a difference array. Slots are
- * [0, num_tiles); an interval [from, to) adds bytes to those slots.
- */
-std::vector<Bytes>
-BufferBySlot(const ParsedSchedule &parsed, const DlsaEncoding &dlsa)
-{
-    const int slots = parsed.NumTiles();
-    std::vector<Bytes> diff(slots + 1, 0);
-    auto add = [&](TilePos from, TilePos to, Bytes bytes) {
-        from = std::clamp<TilePos>(from, 0, slots);
-        to = std::clamp<TilePos>(to, 0, slots);
-        if (from >= to) return;
-        diff[from] += bytes;
-        diff[to] -= bytes;
-    };
-    for (const OnchipInterval &iv : parsed.onchip)
-        add(iv.from, iv.to, iv.bytes);
-    for (int j = 0; j < parsed.NumTensors(); ++j) {
-        const DramTensor &t = parsed.tensors[j];
-        if (t.IsLoad()) {
-            add(dlsa.free_point[j], t.fixed_end, t.bytes);
-        } else {
-            add(t.first_use, dlsa.free_point[j], t.bytes);
-        }
-    }
-    std::vector<Bytes> usage(slots, 0);
-    Bytes run = 0;
-    for (int s = 0; s < slots; ++s) {
-        run += diff[s];
-        usage[s] = run;
-    }
-    return usage;
-}
-
-}  // namespace
 
 Bytes
 PeakBufferUsage(const ParsedSchedule &parsed, const DlsaEncoding &dlsa)
 {
+    std::vector<Bytes> diff, usage;
+    ComputeBufferBySlot(parsed, dlsa.free_point, &diff, &usage);
     Bytes peak = 0;
-    for (Bytes b : BufferBySlot(parsed, dlsa)) peak = std::max(peak, b);
+    for (Bytes b : usage) peak = std::max(peak, b);
     return peak;
 }
 
@@ -59,11 +24,10 @@ EvalReport::Cost(double n, double m) const
 {
     if (!valid) return std::numeric_limits<double>::infinity();
     double e = EnergyJ();
-    double cost = 1.0;
     // Integer-ish exponents dominate in practice; std::pow is fine here
     // but called in the SA inner loop, so special-case n = m = 1.
     if (n == 1.0 && m == 1.0) return e * latency;
-    return std::pow(e, n) * std::pow(latency, m) * cost;
+    return std::pow(e, n) * std::pow(latency, m);
 }
 
 EvalReport
@@ -71,147 +35,11 @@ EvaluateSchedule(const Graph &graph, const HardwareConfig &hw,
                  const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
                  Bytes buffer_budget, Ops total_ops)
 {
-    EvalReport rep;
-    rep.num_tiles = parsed.NumTiles();
-    rep.num_tensors = parsed.NumTensors();
-    rep.num_flgs = parsed.num_flgs;
-    rep.num_lgs = parsed.num_lgs;
-
-    if (!parsed.valid) {
-        rep.why_invalid = parsed.why_invalid;
-        return rep;
-    }
-    std::string why;
-    if (!DlsaValid(parsed, dlsa, &why)) {
-        rep.why_invalid = "dlsa: " + why;
-        return rep;
-    }
-
-    // --- Buffer feasibility (slot-based, Fig. 4 BUFFER row) ---
-    std::vector<Bytes> usage = BufferBySlot(parsed, dlsa);
-    Bytes peak = 0;
-    for (Bytes b : usage) peak = std::max(peak, b);
-    rep.peak_buffer = peak;
-    if (peak > buffer_budget) {
-        rep.why_invalid = "buffer overflow";
-        return rep;
-    }
-
-    const int T = parsed.NumTiles();
-    const int D = parsed.NumTensors();
-
-    // Stores indexed by their End slot: they must finish before that tile.
-    std::vector<std::vector<int>> stores_by_end(T + 1);
-    for (int j = 0; j < D; ++j) {
-        if (!parsed.tensors[j].IsLoad())
-            stores_by_end[dlsa.free_point[j]].push_back(j);
-    }
-
-    // --- Two serial resources, two-pointer list scheduling ---
-    std::vector<double> tile_finish(T, 0.0);
-    std::vector<double> tensor_finish(D, -1.0);  // -1: unscheduled
-    rep.tile_times.resize(T);
-    rep.tensor_times.resize(D);
-
-    int ci = 0;  // next compute tile
-    int di = 0;  // next DRAM tensor (by dlsa.order)
-    double dram_prev_finish = 0.0;
-
-    while (ci < T || di < D) {
-        bool progress = false;
-
-        // DRAM head: a load waits for tiles before its Start; a store
-        // waits for its producing tile.
-        while (di < D) {
-            int j = dlsa.order[di];
-            const DramTensor &t = parsed.tensors[j];
-            double ready;
-            if (t.IsLoad()) {
-                TilePos s = dlsa.free_point[j];
-                if (s > ci) break;  // tiles before Start not yet scheduled
-                ready = (s == 0) ? 0.0 : tile_finish[s - 1];
-            } else {
-                if (t.first_use >= ci) break;  // producer not scheduled
-                ready = tile_finish[t.first_use];
-            }
-            double start = std::max(dram_prev_finish, ready);
-            double finish = start + hw.DramSeconds(t.bytes);
-            rep.tensor_times[j] = EventTiming{start, finish};
-            tensor_finish[j] = finish;
-            dram_prev_finish = finish;
-            ++di;
-            progress = true;
-        }
-
-        // Compute head: waits for the previous tile, its operand loads,
-        // and all stores whose End equals this tile.
-        while (ci < T) {
-            const TileInfo &tile = parsed.tiles[ci];
-            double start = (ci == 0) ? 0.0 : tile_finish[ci - 1];
-            bool blocked = false;
-            for (int j : tile.need_loads) {
-                if (tensor_finish[j] < 0.0) { blocked = true; break; }
-                start = std::max(start, tensor_finish[j]);
-            }
-            if (!blocked) {
-                for (int j : stores_by_end[ci]) {
-                    if (tensor_finish[j] < 0.0) { blocked = true; break; }
-                    start = std::max(start, tensor_finish[j]);
-                }
-            }
-            if (blocked) break;
-            double finish = start + tile.cost.seconds;
-            rep.tile_times[ci] = EventTiming{start, finish};
-            tile_finish[ci] = finish;
-            ++ci;
-            progress = true;
-        }
-
-        if (!progress) {
-            rep.why_invalid = "schedule deadlock (DLSA order)";
-            return rep;
-        }
-    }
-
-    // --- Aggregate ---
-    double makespan = 0.0;
-    for (double f : tile_finish) makespan = std::max(makespan, f);
-    for (double f : tensor_finish) makespan = std::max(makespan, f);
-    rep.latency = makespan;
-
-    double core_pj = 0.0;
-    double compute_busy = 0.0;
-    for (const TileInfo &t : parsed.tiles) {
-        core_pj += t.cost.energy_pj;
-        compute_busy += t.cost.seconds;
-    }
-    rep.compute_busy = compute_busy;
-
-    Bytes dram_bytes = parsed.TotalDramBytes();
-    rep.dram_bytes = dram_bytes;
-    rep.dram_busy = hw.DramSeconds(dram_bytes);
-    rep.core_energy_j = core_pj * 1e-12;
-    rep.dram_energy_j = static_cast<double>(dram_bytes) *
-                        hw.energy.dram_pj_per_byte * 1e-12;
-
-    double peak_ops = hw.PeakOpsPerSecond();
-    rep.compute_util = static_cast<double>(total_ops) /
-                       (peak_ops * rep.latency);
-    rep.dram_util = rep.dram_busy / rep.latency;
-    double bound = std::max(rep.compute_busy, rep.dram_busy);
-    rep.theory_max_util =
-        bound > 0.0 ? static_cast<double>(total_ops) / (peak_ops * bound)
-                    : 0.0;
-
-    // Compute-time-weighted average buffer usage (Fig. 6 definition).
-    double weighted = 0.0;
-    for (int s = 0; s < T; ++s)
-        weighted += static_cast<double>(usage[s]) *
-                    parsed.tiles[s].cost.seconds;
-    rep.avg_buffer = compute_busy > 0.0 ? weighted / compute_busy : 0.0;
-
-    rep.valid = true;
-    return rep;
+    // Compatibility wrapper: the implementation lives in EvalContext so
+    // the full and incremental paths share one timeline. Search loops
+    // should hold a per-thread EvalContext instead of calling this.
+    EvalContext ctx;
+    return ctx.Evaluate(graph, hw, parsed, dlsa, buffer_budget, total_ops);
 }
 
 }  // namespace soma

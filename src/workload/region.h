@@ -40,7 +40,12 @@ struct Region {
         return static_cast<std::int64_t>(Batches()) * Rows() * Cols();
     }
 
-    bool operator==(const Region &o) const = default;
+    bool operator==(const Region &o) const
+    {
+        return b0 == o.b0 && b1 == o.b1 && r0 == o.r0 && r1 == o.r1 &&
+               c0 == o.c0 && c1 == o.c1;
+    }
+    bool operator!=(const Region &o) const { return !(*this == o); }
 
     /** Smallest region containing both (union bounding box). */
     static Region Union(const Region &a, const Region &b)

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * EvalContext tests: incremental (suffix-resumed) re-evaluation must be
+ * bit-identical to full evaluation across randomized DLSA mutations,
+ * including the invalid paths (buffer overflow, schedule deadlock), and
+ * the reusable parse must match the allocating ParseLfa.
+ */
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "search/dlsa_heuristics.h"
+#include "search/dlsa_stage.h"
+#include "sim/eval_context.h"
+#include "sim/evaluator.h"
+#include "workload/graph_builder.h"
+
+namespace soma {
+namespace {
+
+Graph
+MakeConvChain(int layers)
+{
+    GraphBuilder b("chain", 1);
+    LayerId x = b.InputConv("c0", ExtShape{3, 32, 32}, 64, 3, 1, 1);
+    for (int i = 1; i < layers; ++i)
+        x = b.Conv("c" + std::to_string(i), x, 64, 3, 1, 1);
+    b.MarkOutput(x);
+    return b.Take();
+}
+
+/** Two LGs with tiling, so the parse has weight loads, cross-LG ifmap
+ *  loads, ofmap stores, and on-chip intervals. */
+LfaEncoding
+MakeTwoLgLfa(const Graph &g)
+{
+    LfaEncoding lfa;
+    lfa.order = g.TopoOrder();
+    lfa.flc_cuts = {3};
+    lfa.dram_cuts = {3};
+    lfa.tiling = {2, 2};
+    return lfa;
+}
+
+void
+ExpectReportsIdentical(const EvalReport &a, const EvalReport &b)
+{
+    ASSERT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.why_invalid, b.why_invalid);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.core_energy_j, b.core_energy_j);
+    EXPECT_EQ(a.dram_energy_j, b.dram_energy_j);
+    EXPECT_EQ(a.compute_busy, b.compute_busy);
+    EXPECT_EQ(a.dram_busy, b.dram_busy);
+    EXPECT_EQ(a.compute_util, b.compute_util);
+    EXPECT_EQ(a.dram_util, b.dram_util);
+    EXPECT_EQ(a.theory_max_util, b.theory_max_util);
+    EXPECT_EQ(a.peak_buffer, b.peak_buffer);
+    EXPECT_EQ(a.avg_buffer, b.avg_buffer);
+    EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+    EXPECT_EQ(a.num_tiles, b.num_tiles);
+    EXPECT_EQ(a.num_tensors, b.num_tensors);
+    EXPECT_EQ(a.num_flgs, b.num_flgs);
+    EXPECT_EQ(a.num_lgs, b.num_lgs);
+    ASSERT_EQ(a.tile_times.size(), b.tile_times.size());
+    for (std::size_t i = 0; i < a.tile_times.size(); ++i) {
+        EXPECT_EQ(a.tile_times[i].start, b.tile_times[i].start) << i;
+        EXPECT_EQ(a.tile_times[i].finish, b.tile_times[i].finish) << i;
+    }
+    ASSERT_EQ(a.tensor_times.size(), b.tensor_times.size());
+    for (std::size_t i = 0; i < a.tensor_times.size(); ++i) {
+        EXPECT_EQ(a.tensor_times[i].start, b.tensor_times[i].start) << i;
+        EXPECT_EQ(a.tensor_times[i].finish, b.tensor_times[i].finish) << i;
+    }
+}
+
+/** Random walk of mutations; every candidate is evaluated both
+ *  incrementally and from scratch, and random acceptances advance the
+ *  incremental base. */
+void
+RunIncrementalWalk(Bytes budget, std::uint64_t seed, int steps)
+{
+    Graph g = MakeConvChain(6);
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator ce(g, hw);
+    ParsedSchedule parsed = ParseLfa(g, MakeTwoLgLfa(g), ce);
+    ASSERT_TRUE(parsed.valid);
+    ASSERT_GT(parsed.NumTensors(), 4);
+    const Ops ops = g.TotalOps();
+
+    EvalContext ctx;
+    DlsaEncoding current = MakeDoubleBufferDlsa(parsed);
+    ctx.Evaluate(g, hw, parsed, current, budget, ops);
+    ctx.Commit();
+
+    DlsaMutator mutate(parsed);
+    Rng rng(seed);
+    DlsaEncoding cand;
+    DlsaDelta delta;
+    int evaluated = 0, incremental_hits = 0;
+    for (int i = 0; i < steps; ++i) {
+        if (!mutate(current, &cand, rng, &delta)) continue;
+        if (ctx.HasBase()) ++incremental_hits;
+        const EvalReport &inc =
+            ctx.EvaluateDelta(g, hw, parsed, cand, delta, budget, ops);
+        EvalReport full = EvaluateSchedule(g, hw, parsed, cand, budget, ops);
+        ExpectReportsIdentical(inc, full);
+        ++evaluated;
+        // SA only ever accepts valid candidates (invalid cost +inf);
+        // mirror that so the committed base stays valid.
+        if (full.valid && rng.Flip()) {
+            ctx.Commit();
+            current = cand;
+        }
+    }
+    EXPECT_GT(evaluated, steps / 2);
+    // The walk must actually exercise the incremental path, not the
+    // full-evaluation fallback.
+    EXPECT_GT(incremental_hits, evaluated / 2);
+}
+
+TEST(EvalContext, IncrementalMatchesFullUnderFullBudget)
+{
+    HardwareConfig hw = EdgeAccelerator();
+    RunIncrementalWalk(hw.gbuf_bytes, 101, 400);
+}
+
+TEST(EvalContext, IncrementalMatchesFullUnderTightBudget)
+{
+    // A budget near the double-buffer peak makes many mutations overflow
+    // the buffer, covering the early-invalid incremental path.
+    Graph g = MakeConvChain(6);
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator ce(g, hw);
+    ParsedSchedule parsed = ParseLfa(g, MakeTwoLgLfa(g), ce);
+    ASSERT_TRUE(parsed.valid);
+    Bytes peak = PeakBufferUsage(parsed, MakeDoubleBufferDlsa(parsed));
+    RunIncrementalWalk(peak + peak / 16, 202, 400);
+}
+
+TEST(EvalContext, CommitIsOptionalBetweenEvaluations)
+{
+    // Rejected candidates must not disturb the base: evaluating the
+    // same candidate twice with other rejected evaluations in between
+    // yields identical reports.
+    Graph g = MakeConvChain(6);
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator ce(g, hw);
+    ParsedSchedule parsed = ParseLfa(g, MakeTwoLgLfa(g), ce);
+    ASSERT_TRUE(parsed.valid);
+    const Ops ops = g.TotalOps();
+
+    EvalContext ctx;
+    DlsaEncoding base = MakeDoubleBufferDlsa(parsed);
+    ctx.Evaluate(g, hw, parsed, base, hw.gbuf_bytes, ops);
+    ctx.Commit();
+
+    DlsaMutator mutate(parsed);
+    Rng rng(7);
+    DlsaEncoding cand;
+    DlsaDelta delta;
+    ASSERT_TRUE(mutate(base, &cand, rng, &delta));
+    EvalReport first =
+        ctx.EvaluateDelta(g, hw, parsed, cand, delta, hw.gbuf_bytes, ops);
+
+    DlsaEncoding other;
+    DlsaDelta other_delta;
+    for (int i = 0; i < 10; ++i) {
+        if (mutate(base, &other, rng, &other_delta)) {
+            ctx.EvaluateDelta(g, hw, parsed, other, other_delta,
+                              hw.gbuf_bytes, ops);  // rejected
+        }
+    }
+    const EvalReport &again =
+        ctx.EvaluateDelta(g, hw, parsed, cand, delta, hw.gbuf_bytes, ops);
+    ExpectReportsIdentical(first, again);
+}
+
+/** Hand-built two-load schedule whose DRAM order deadlocks: the first
+ *  tensor in DRAM order waits for tile 0, which waits for the second. */
+ParsedSchedule
+MakeDeadlockParse()
+{
+    ParsedSchedule p;
+    p.valid = true;
+    p.num_flgs = 1;
+    p.num_lgs = 1;
+    p.tiles.resize(3);
+    for (TileInfo &t : p.tiles) t.cost.seconds = 1e-3;
+    DramTensor l0;
+    l0.kind = DramTensorKind::kWeight;
+    l0.layer = 0;
+    l0.bytes = 128;
+    l0.first_use = 0;
+    l0.fixed_end = 3;
+    DramTensor l1 = l0;
+    l1.layer = 1;
+    l1.first_use = 2;
+    p.tensors = {l0, l1};
+    p.tiles[0].need_loads = {0};
+    p.tiles[2].need_loads = {1};
+    return p;
+}
+
+TEST(Evaluator, ReportsScheduleDeadlock)
+{
+    Graph g = MakeConvChain(2);  // evaluator only reads parsed + hw
+    HardwareConfig hw = EdgeAccelerator();
+    ParsedSchedule p = MakeDeadlockParse();
+
+    DlsaEncoding dlsa;
+    dlsa.order = {1, 0};      // tensor 1 first: waits for tiles 0..1
+    dlsa.free_point = {0, 2};  // tensor 1 starts at tile 2
+    ASSERT_TRUE(DlsaValid(p, dlsa));
+
+    EvalReport rep =
+        EvaluateSchedule(g, hw, p, dlsa, 1 << 20, /*total_ops=*/1000);
+    EXPECT_FALSE(rep.valid);
+    EXPECT_EQ(rep.why_invalid, "schedule deadlock (DLSA order)");
+    EXPECT_EQ(rep.Cost(), std::numeric_limits<double>::infinity());
+}
+
+TEST(EvalContext, IncrementalDeadlockMatchesFull)
+{
+    Graph g = MakeConvChain(2);
+    HardwareConfig hw = EdgeAccelerator();
+    ParsedSchedule p = MakeDeadlockParse();
+    const Ops ops = 1000;
+    const Bytes budget = 1 << 20;
+
+    DlsaEncoding base;
+    base.order = {0, 1};
+    base.free_point = {0, 2};
+
+    EvalContext ctx;
+    ASSERT_TRUE(ctx.Evaluate(g, hw, p, base, budget, ops).valid);
+    ctx.Commit();
+
+    // Swap the order: tensor 0 moves behind tensor 1 -> deadlock.
+    DlsaEncoding cand = base;
+    cand.order = {1, 0};
+    DlsaDelta delta;
+    delta.kind = DlsaDelta::Kind::kOrderMove;
+    delta.tensor = 0;
+    delta.from_rank = 0;
+    delta.to_rank = 1;
+
+    const EvalReport &inc =
+        ctx.EvaluateDelta(g, hw, p, cand, delta, budget, ops);
+    EvalReport full = EvaluateSchedule(g, hw, p, cand, budget, ops);
+    ExpectReportsIdentical(inc, full);
+    EXPECT_FALSE(inc.valid);
+
+    // The base must survive the rejected deadlock candidate.
+    DlsaEncoding cand2 = base;
+    cand2.free_point = {0, 1};
+    DlsaDelta d2;
+    d2.kind = DlsaDelta::Kind::kFreePoint;
+    d2.tensor = 1;
+    d2.old_point = 2;
+    d2.new_point = 1;
+    const EvalReport &inc2 =
+        ctx.EvaluateDelta(g, hw, p, cand2, d2, budget, ops);
+    EvalReport full2 = EvaluateSchedule(g, hw, p, cand2, budget, ops);
+    ExpectReportsIdentical(inc2, full2);
+}
+
+TEST(EvalContext, ParseMatchesParseLfa)
+{
+    Graph g = MakeConvChain(6);
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator ce(g, hw);
+    LfaEncoding lfa = MakeTwoLgLfa(g);
+
+    EvalContext ctx;
+    // Parse twice through the same scratch: the second result must be
+    // unaffected by the first's leftovers.
+    ctx.Parse(g, lfa, ce);
+    const ParsedSchedule &a = ctx.Parse(g, lfa, ce);
+    ParsedSchedule b = ParseLfa(g, lfa, ce);
+    ASSERT_EQ(a.valid, b.valid);
+    ASSERT_EQ(a.NumTiles(), b.NumTiles());
+    ASSERT_EQ(a.NumTensors(), b.NumTensors());
+    EXPECT_EQ(a.num_flgs, b.num_flgs);
+    EXPECT_EQ(a.num_lgs, b.num_lgs);
+    for (int j = 0; j < a.NumTensors(); ++j) {
+        EXPECT_EQ(a.tensors[j].kind, b.tensors[j].kind) << j;
+        EXPECT_EQ(a.tensors[j].bytes, b.tensors[j].bytes) << j;
+        EXPECT_EQ(a.tensors[j].first_use, b.tensors[j].first_use) << j;
+        EXPECT_EQ(a.tensors[j].fixed_end, b.tensors[j].fixed_end) << j;
+    }
+    for (int i = 0; i < a.NumTiles(); ++i) {
+        EXPECT_EQ(a.tiles[i].layer, b.tiles[i].layer) << i;
+        EXPECT_EQ(a.tiles[i].cost.seconds, b.tiles[i].cost.seconds) << i;
+        EXPECT_EQ(a.tiles[i].need_loads, b.tiles[i].need_loads) << i;
+    }
+    ASSERT_EQ(a.onchip.size(), b.onchip.size());
+}
+
+}  // namespace
+}  // namespace soma

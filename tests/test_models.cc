@@ -127,8 +127,9 @@ TEST(Gpt2Decode, SingleQueryRow)
 {
     Graph g = BuildGpt2Decode(Gpt2Small(), 1, 512);
     for (LayerId id = 0; id < g.NumLayers(); ++id) {
-        if (g.layer(id).name().find(".q") != std::string::npos)
+        if (g.layer(id).name().find(".q") != std::string::npos) {
             EXPECT_EQ(g.layer(id).outHeight(), 1);
+        }
     }
 }
 
