@@ -133,6 +133,7 @@ DlsaStrategies(benchmark::State &state, const char *net)
 int
 main(int argc, char **argv)
 {
+    bench::InitBenchJson(&argc, argv);
     std::cout << "bench_ablation profile=" << ProfileName(ProfileFromEnv())
               << "\n";
     const char *nets[] = {"resnet50", "randwire"};
@@ -159,5 +160,6 @@ main(int argc, char **argv)
     benchmark::Shutdown();
     std::cout << "\n=== Ablations ===\n";
     g_table.Print(std::cout);
+    bench::JsonSink::Instance().Flush();
     return 0;
 }

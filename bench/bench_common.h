@@ -2,18 +2,24 @@
  * @file
  * Shared infrastructure for the paper-reproduction benches: run
  * profiles (quick / default / full via SOMA_BENCH_PROFILE), the
- * workload x platform grid of Sec. VI-A, and a result collector that
- * prints the per-figure tables after google-benchmark finishes.
+ * workload x platform grid of Sec. VI-A, a result collector that
+ * prints the per-figure tables after google-benchmark finishes, and a
+ * --json <path> sink that writes {bench, metric, value} rows so the
+ * perf trajectory can be tracked across PRs (BENCH_*.json).
  */
 #ifndef SOMA_BENCH_BENCH_COMMON_H
 #define SOMA_BENCH_BENCH_COMMON_H
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "baselines/cocco.h"
+#include "common/json.h"
 #include "hw/hardware.h"
 #include "search/soma.h"
 #include "workload/models.h"
@@ -54,16 +60,7 @@ SomaOptsFor(Profile p, std::uint64_t seed)
         o.alloc.max_iterations = 2;
         return o;
       }
-      case Profile::kFull: {
-        SomaOptions o = DefaultSomaOptions(seed);
-        o.lfa.beta = 100;
-        o.lfa.max_iterations = 20000;
-        o.dlsa.beta = 100;
-        o.dlsa.max_iterations = 30000;
-        o.alloc.max_iterations = 5;
-        o.Finalize();
-        return o;
-      }
+      case Profile::kFull: return FullSomaOptions(seed);
     }
     return QuickSomaOptions(seed);
 }
@@ -74,12 +71,7 @@ CoccoOptsFor(Profile p, std::uint64_t seed)
     switch (p) {
       case Profile::kQuick: return QuickCoccoOptions(seed);
       case Profile::kDefault: return DefaultCoccoOptions(seed);
-      case Profile::kFull: {
-        CoccoOptions o = DefaultCoccoOptions(seed);
-        o.beta = 100;
-        o.max_iterations = 20000;
-        return o;
-      }
+      case Profile::kFull: return FullCoccoOptions(seed);
     }
     return QuickCoccoOptions(seed);
 }
@@ -94,6 +86,90 @@ BatchesFor(Profile p)
       case Profile::kFull: return {1, 4, 16, 64};
     }
     return {1};
+}
+
+/**
+ * Machine-readable metric sink behind the benches' --json <path> flag.
+ * Collects {bench, metric, value} rows during the run and writes them
+ * as a JSON array on Flush (e.g. BENCH_fig6.json), so per-PR perf
+ * trajectories can be diffed/plotted without scraping tables.
+ */
+class JsonSink {
+  public:
+    static JsonSink &Instance()
+    {
+        static JsonSink sink;
+        return sink;
+    }
+
+    void Enable(std::string path)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        path_ = std::move(path);
+    }
+
+    bool enabled() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return !path_.empty();
+    }
+
+    void Add(const std::string &bench, const std::string &metric,
+             double value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (path_.empty()) return;
+        Json row = Json::Object();
+        row.Set("bench", Json::Str(bench));
+        row.Set("metric", Json::Str(metric));
+        row.Set("value", Json::Number(value));
+        rows_.Append(std::move(row));
+    }
+
+    /** Writes the collected rows; true on success or when disabled. */
+    bool Flush()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (path_.empty()) return true;
+        std::ofstream out(path_);
+        if (!out) {
+            std::cerr << "cannot write --json file " << path_ << "\n";
+            return false;
+        }
+        out << rows_.Dump(2) << "\n";
+        std::cout << "wrote " << rows_.size() << " metric rows to "
+                  << path_ << "\n";
+        return static_cast<bool>(out);
+    }
+
+  private:
+    JsonSink() : rows_(Json::Array()) {}
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    Json rows_;
+};
+
+/**
+ * Strips "--json <path>" / "--json=<path>" from argv (google-benchmark
+ * rejects flags it does not know) and enables the JsonSink. Call at the
+ * top of main, before benchmark::Initialize.
+ */
+inline void
+InitBenchJson(int *argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < *argc) {
+            JsonSink::Instance().Enable(argv[++i]);
+        } else if (arg.rfind("--json=", 0) == 0) {
+            JsonSink::Instance().Enable(arg.substr(7));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
 }
 
 /** One evaluation configuration of Fig. 6. */

@@ -142,6 +142,7 @@ RunNet(benchmark::State &state, const char *model)
 int
 main(int argc, char **argv)
 {
+    bench::InitBenchJson(&argc, argv);
     std::cout << "bench_fig3_imbalance profile="
               << ProfileName(ProfileFromEnv()) << "\n";
     benchmark::RegisterBenchmark("fig3/resnet50", RunNet, "resnet50")
@@ -187,5 +188,6 @@ main(int argc, char **argv)
                   r.net == "resnet50" ? "52.69 / 62.64" : "72.45 / 45.84"});
     }
     u.Print(std::cout);
+    bench::JsonSink::Instance().Flush();
     return 0;
 }

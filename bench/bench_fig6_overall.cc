@@ -119,6 +119,16 @@ PrintFigure()
         if (!row.cocco.valid || !row.ours1.valid || !row.ours2.valid)
             continue;
         ++n;
+        const std::string id = "fig6/" + row.cfg.label +
+                               (row.cfg.cloud ? "/cloud" : "/edge") +
+                               "/bs" + std::to_string(row.batch);
+        JsonSink::Instance().Add(id, "speedup_vs_cocco",
+                                 row.cocco.latency / row.ours2.latency);
+        JsonSink::Instance().Add(
+            id, "energy_reduction",
+            1.0 - row.ours2.EnergyJ() / row.cocco.EnergyJ());
+        JsonSink::Instance().Add(id, "compute_util",
+                                 row.ours2.compute_util);
         s1_speedup += row.cocco.latency / row.ours1.latency;
         s2_speedup += row.ours1.latency / row.ours2.latency;
         total_speedup += row.cocco.latency / row.ours2.latency;
@@ -138,6 +148,16 @@ PrintFigure()
         std::cout << "\n(no valid configurations)\n";
         return;
     }
+    JsonSink::Instance().Add("fig6/aggregate", "avg_total_speedup",
+                             total_speedup / n);
+    JsonSink::Instance().Add("fig6/aggregate", "avg_stage1_speedup",
+                             s1_speedup / n);
+    JsonSink::Instance().Add("fig6/aggregate", "avg_stage2_speedup",
+                             s2_speedup / n);
+    JsonSink::Instance().Add("fig6/aggregate", "avg_energy_reduction",
+                             energy_red / n);
+    JsonSink::Instance().Add("fig6/aggregate", "avg_theory_gap",
+                             theory_gap / n);
     std::cout << "\n=== Sec. VI-B statistics (paper values in brackets) "
                  "===\n";
     std::cout << "avg stage-1 speedup over Cocco: "
@@ -169,6 +189,7 @@ PrintFigure()
 int
 main(int argc, char **argv)
 {
+    bench::InitBenchJson(&argc, argv);
     std::cout << "bench_fig6_overall profile="
               << ProfileName(ProfileFromEnv()) << "\n";
     RegisterAll();
@@ -176,5 +197,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     PrintFigure();
+    bench::JsonSink::Instance().Flush();
     return 0;
 }

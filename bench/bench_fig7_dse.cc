@@ -140,6 +140,7 @@ PrintGrids()
 int
 main(int argc, char **argv)
 {
+    bench::InitBenchJson(&argc, argv);
     Profile profile = ProfileFromEnv();
     std::cout << "bench_fig7_dse profile=" << ProfileName(profile) << "\n";
     for (const char *net : NetsFor(profile)) {
@@ -162,5 +163,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     PrintGrids();
+    bench::JsonSink::Instance().Flush();
     return 0;
 }

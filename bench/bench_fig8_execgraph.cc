@@ -97,6 +97,7 @@ PrintCase(const CaseResult &c)
 int
 main(int argc, char **argv)
 {
+    bench::InitBenchJson(&argc, argv);
     std::cout << "bench_fig8_execgraph profile="
               << ProfileName(ProfileFromEnv()) << "\n";
     benchmark::RegisterBenchmark("fig8/resnet50", RunCase, "resnet50")
@@ -113,5 +114,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     for (const CaseResult &c : g_cases) PrintCase(c);
+    bench::JsonSink::Instance().Flush();
     return 0;
 }

@@ -66,6 +66,7 @@ RunPoint(benchmark::State &state, bool xl, bool decode, int batch)
 int
 main(int argc, char **argv)
 {
+    bench::InitBenchJson(&argc, argv);
     Profile profile = ProfileFromEnv();
     std::cout << "bench_llm_analysis profile=" << ProfileName(profile)
               << "\n";
@@ -132,5 +133,6 @@ main(int argc, char **argv)
                       << FormatDouble(utils[i] / utils[i - 1], 2) << "\n";
         }
     }
+    bench::JsonSink::Instance().Flush();
     return 0;
 }

@@ -17,7 +17,7 @@
  * plus the LFA loop (parse-dominated) with and without the context.
  * Profiles: SOMA_BENCH_PROFILE=quick|default|full scales the budgets.
  *
- * Run: ./build/bench_sa_throughput
+ * Run: ./build/bench_sa_throughput [--json <path>]
  */
 #include <chrono>
 #include <cstdio>
@@ -65,6 +65,9 @@ PrintRows(const std::vector<Row> &rows, const std::string &baseline)
         std::printf("  %-22s %10d cands %8.3f s %12.0f cands/s %7.2fx\n",
                     r.name.c_str(), r.candidates, r.seconds, r.PerSecond(),
                     rel);
+        bench::JsonSink::Instance().Add("sa_throughput/" + r.name,
+                                        "candidates_per_second",
+                                        r.PerSecond());
     }
 }
 
@@ -102,9 +105,10 @@ DlsaWalk(const std::string &name, const ParsedSchedule &parsed,
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using bench::Profile;
+    bench::InitBenchJson(&argc, argv);
     const Profile profile = bench::ProfileFromEnv();
     int dlsa_iters, lfa_iters, stage_cap;
     switch (profile) {
@@ -277,5 +281,6 @@ main()
                 "legacy single-thread\n",
                 single > 0 ? incr.PerSecond() / single : 0.0,
                 single > 0 ? par.PerSecond() / single : 0.0);
+    bench::JsonSink::Instance().Flush();
     return 0;
 }

@@ -1,23 +1,21 @@
 /**
  * @file
- * The compiler flow end to end (Fig. 5 right side): search a schedule,
- * emit the textual IR, lower to the abstract load/store/compute
- * instruction stream, execute it on the instruction VM, and verify the
- * VM reproduces the analytical latency. Also dumps the CSV traces used
- * for plotting execution graphs.
+ * The compiler flow end to end (Fig. 5 right side), driven through the
+ * unified API: one ScheduleRequest asks for the IR, instruction-stream
+ * and CSV-trace artifacts; the example writes them to disk, re-parses
+ * the IR text, executes it on the instruction VM, and verifies the VM
+ * reproduces the analytical latency.
  *
- * Run: ./build/examples/compile_flow [model] [batch] [outdir]
+ * Run: ./build/compile_flow [model] [batch] [outdir]
  */
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 
-#include "compiler/instruction_gen.h"
+#include "api/scheduler.h"
 #include "compiler/ir.h"
 #include "compiler/vm.h"
-#include "search/soma.h"
-#include "sim/trace.h"
-#include "workload/models.h"
 
 int
 main(int argc, char **argv)
@@ -27,33 +25,50 @@ main(int argc, char **argv)
     int batch = argc > 2 ? std::atoi(argv[2]) : 1;
     std::string outdir = argc > 3 ? argv[3] : ".";
 
-    Graph graph = BuildModelByName(model, batch);
-    HardwareConfig hw = EdgeAccelerator();
-    SomaSearchResult best = RunSoma(graph, hw, QuickSomaOptions(11));
-    if (!best.report.valid) {
-        std::cerr << "no valid schedule found: "
-                  << best.report.why_invalid << "\n";
+    ScheduleRequest request;
+    request.model = model;
+    request.batch = batch;
+    request.hardware = "edge";
+    request.profile = SearchProfile::kQuick;
+    request.seed = 11;
+    request.artifacts.ir = true;
+    request.artifacts.instructions = true;
+    request.artifacts.traces = true;
+
+    Scheduler scheduler;
+    ScheduleResult best = scheduler.Schedule(request);
+    if (!best.ok) {
+        std::cerr << "no valid schedule found: " << best.error << "\n";
         return 1;
     }
     std::cout << "schedule: " << best.report.num_lgs << " LGs, "
               << best.report.num_tiles << " tiles, latency "
               << best.report.latency * 1e3 << " ms\n";
 
-    // IR.
-    IrModule ir = GenerateIr(graph, best.parsed, best.dlsa);
-    std::ofstream(outdir + "/" + model + ".ir") << ir.ToText();
-    std::cout << "wrote " << model << ".ir (" << ir.tiles.size()
-              << " tiles, " << ir.tensors.size() << " tensors)\n";
+    // IR (artifact text; the round trip below proves it is complete).
+    std::ofstream(outdir + "/" + model + ".ir") << best.ir_text;
+    std::cout << "wrote " << model << ".ir\n";
 
     // Instructions.
-    Program prog = GenerateInstructions(ir);
-    std::ofstream(outdir + "/" + model + ".asm") << prog.ToText();
-    std::cout << "wrote " << model << ".asm (" << prog.instructions.size()
-              << " instructions: " << prog.NumLoads() << " loads, "
-              << prog.NumStores() << " stores, " << prog.NumComputes()
+    std::ofstream(outdir + "/" + model + ".asm") << best.asm_text;
+    std::cout << "wrote " << model << ".asm (" << best.num_instructions
+              << " instructions: " << best.num_loads << " loads, "
+              << best.num_stores << " stores, " << best.num_computes
               << " computes)\n";
 
-    // Execute on the VM and cross-check against the evaluator.
+    // Re-parse the IR artifact and execute it on the VM; the hardware
+    // point comes from the same registry the pipeline used.
+    IrModule ir;
+    std::string err;
+    if (!IrModule::FromText(best.ir_text, &ir, &err)) {
+        std::cerr << "IR round trip failed: " << err << "\n";
+        return 1;
+    }
+    HardwareConfig hw;
+    if (!scheduler.hardware().Make(request.hardware, &hw, &err)) {
+        std::cerr << err << "\n";
+        return 1;
+    }
     VmResult vm = ExecuteIr(ir, hw);
     if (!vm.ok) {
         std::cerr << "VM error: " << vm.error << "\n";
@@ -66,18 +81,10 @@ main(int argc, char **argv)
               << " ms (rel diff " << rel << ")\n";
 
     // Traces for plotting.
-    {
-        std::ofstream f(outdir + "/" + model + "_compute.csv");
-        WriteComputeTraceCsv(f, graph, best.parsed, best.report);
-    }
-    {
-        std::ofstream f(outdir + "/" + model + "_dram.csv");
-        WriteDramTraceCsv(f, graph, best.parsed, best.dlsa, best.report);
-    }
-    {
-        std::ofstream f(outdir + "/" + model + "_buffer.csv");
-        WriteBufferTraceCsv(f, best.parsed, best.dlsa);
-    }
+    std::ofstream(outdir + "/" + model + "_compute.csv")
+        << best.compute_csv;
+    std::ofstream(outdir + "/" + model + "_dram.csv") << best.dram_csv;
+    std::ofstream(outdir + "/" + model + "_buffer.csv") << best.buffer_csv;
     std::cout << "wrote " << model
               << "_{compute,dram,buffer}.csv trace files\n";
     return rel < 1e-6 ? 0 : 1;

@@ -1,20 +1,19 @@
 /**
  * @file
- * Miniature design-space exploration (Fig. 7 style): sweep DRAM
- * bandwidth x buffer size for one workload and print the latency grid
- * for Cocco and SoMa, highlighting the minimum-latency envelope.
+ * Miniature design-space exploration (Fig. 7 style) on the unified API:
+ * every (bandwidth, buffer) point of the sweep becomes one async
+ * ScheduleRequest with hardware overrides; the Scheduler multiplexes
+ * the whole grid over its worker pool, and the latency tables for
+ * Cocco and SoMa are printed from the collected results.
  *
- * Run: ./build/examples/dse_mini [model] [batch] [seed]
+ * Run: ./build/dse_mini [model] [batch] [seed]
  */
 #include <cstdlib>
 #include <iostream>
 #include <vector>
 
-#include "baselines/cocco.h"
+#include "api/scheduler.h"
 #include "common/table.h"
-#include "hw/hardware.h"
-#include "search/soma.h"
-#include "workload/models.h"
 
 int
 main(int argc, char **argv)
@@ -28,31 +27,49 @@ main(int argc, char **argv)
     const std::vector<Bytes> buffers = {2LL << 20, 4LL << 20, 8LL << 20,
                                         16LL << 20};
 
-    Graph graph = BuildModelByName(model, batch);
-    HardwareConfig base = EdgeAccelerator();
+    Scheduler::Options pool;
+    pool.workers = 4;
+    Scheduler scheduler(pool);
+
+    HardwareConfig base;
+    std::string err;
+    scheduler.hardware().Make("edge", &base, &err);
     std::cout << "DSE: " << model << " batch " << batch << " on "
               << base.PeakTops() << " TOPS edge\n";
 
     for (bool use_soma : {false, true}) {
         std::cout << "\n" << (use_soma ? "SoMa" : "Cocco")
                   << " latency (ms): rows = DRAM GB/s, cols = buffer MB\n";
+
+        // Fan the whole grid out first...
+        std::vector<Scheduler::JobId> jobs;
+        for (double bw : bandwidths) {
+            for (Bytes buf : buffers) {
+                ScheduleRequest request;
+                request.model = model;
+                request.batch = batch;
+                request.hardware = "edge";
+                request.gbuf_bytes = buf;
+                request.dram_gbps = bw;
+                request.scheduler = use_soma ? "soma" : "cocco";
+                request.profile = SearchProfile::kQuick;
+                request.seed = seed;
+                jobs.push_back(scheduler.Submit(request));
+            }
+        }
+
+        // ...then collect in grid order.
         std::vector<std::string> header = {"GB/s \\ MB"};
         for (Bytes b : buffers)
             header.push_back(std::to_string(b >> 20));
         Table t(header);
         double best = 1e30;
+        std::size_t job = 0;
         for (double bw : bandwidths) {
             std::vector<std::string> row = {FormatDouble(bw, 0)};
-            for (Bytes buf : buffers) {
-                HardwareConfig hw = WithBufferAndBandwidth(base, buf, bw);
-                double latency;
-                if (use_soma) {
-                    latency = RunSoma(graph, hw, QuickSomaOptions(seed))
-                                  .report.latency;
-                } else {
-                    latency = RunCocco(graph, hw, QuickCoccoOptions(seed))
-                                  .report.latency;
-                }
+            for (std::size_t i = 0; i < buffers.size(); ++i) {
+                ScheduleResult r = scheduler.Wait(jobs[job++]);
+                double latency = r.report.latency;  // inf when infeasible
                 best = std::min(best, latency);
                 row.push_back(FormatDouble(latency * 1e3, 2));
             }

@@ -1,19 +1,17 @@
 /**
  * @file
- * Fig. 8 walkthrough: print the practical execution graphs of the
- * schemes explored by Cocco, SoMa stage 1, and SoMa stage 2 for one
- * workload, so the DRAM/COMPUTE/BUFFER trade-offs can be inspected.
+ * Fig. 8 walkthrough on the unified API: request the execution-graph
+ * artifact for the schemes explored by Cocco and SoMa (whose result
+ * carries both the stage-1 double-buffer rendering and the final
+ * searched-DLSA rendering), so the DRAM/COMPUTE/BUFFER trade-offs can
+ * be inspected.
  *
- * Run: ./build/examples/execution_graph [model] [batch] [rows]
+ * Run: ./build/execution_graph [model] [batch] [rows]
  */
 #include <cstdlib>
 #include <iostream>
 
-#include "baselines/cocco.h"
-#include "hw/hardware.h"
-#include "search/soma.h"
-#include "sim/report.h"
-#include "workload/models.h"
+#include "api/scheduler.h"
 
 int
 main(int argc, char **argv)
@@ -23,23 +21,38 @@ main(int argc, char **argv)
     int batch = argc > 2 ? std::atoi(argv[2]) : 1;
     int rows = argc > 3 ? std::atoi(argv[3]) : 40;
 
-    Graph graph = BuildModelByName(model, batch);
-    HardwareConfig hw = EdgeAccelerator();
+    ScheduleRequest request;
+    request.model = model;
+    request.batch = batch;
+    request.hardware = "edge";
+    request.profile = SearchProfile::kQuick;
+    request.seed = 3;
+    request.artifacts.execution_graph = true;
+    request.artifacts.execution_graph_rows = rows;
 
-    CoccoResult cocco = RunCocco(graph, hw, QuickCoccoOptions(3));
+    Scheduler scheduler;
+
+    ScheduleRequest cocco_request = request;
+    cocco_request.scheduler = "cocco";
+    ScheduleResult cocco = scheduler.Schedule(cocco_request);
+    if (!cocco.ok) {
+        std::cerr << "cocco failed: " << cocco.error << "\n";
+        return 1;
+    }
     std::cout << "==== Cocco ====\n";
-    std::cout << "scheme: " << cocco.lfa.ToString(graph) << "\n";
-    PrintExecutionGraph(std::cout, graph, cocco.parsed, cocco.dlsa,
-                        cocco.report, rows);
+    std::cout << "scheme: " << cocco.scheme << "\n";
+    std::cout << cocco.execution_graph;
 
-    SomaSearchResult ours = RunSoma(graph, hw, QuickSomaOptions(3));
+    ScheduleResult ours = scheduler.Schedule(request);
+    if (!ours.ok) {
+        std::cerr << "soma failed: " << ours.error << "\n";
+        return 1;
+    }
     std::cout << "\n==== SoMa stage 1 (double-buffer DLSA) ====\n";
-    std::cout << "scheme: " << ours.lfa.ToString(graph) << "\n";
-    PrintExecutionGraph(std::cout, graph, ours.parsed, ours.stage1_dlsa,
-                        ours.stage1_report, rows);
+    std::cout << "scheme: " << ours.scheme << "\n";
+    std::cout << ours.stage1_execution_graph;
 
     std::cout << "\n==== SoMa stage 2 (searched DLSA) ====\n";
-    PrintExecutionGraph(std::cout, graph, ours.parsed, ours.dlsa,
-                        ours.report, rows);
+    std::cout << ours.execution_graph;
     return 0;
 }

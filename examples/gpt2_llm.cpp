@@ -1,20 +1,21 @@
 /**
  * @file
- * LLM case study (Sec. VI-B): GPT-2 prefill vs decode across batch
- * sizes. Reproduces the paper's two observations: (1) decode has
- * near-zero DRAM-scheduling headroom because weight + KV-cache loading
- * dominates; (2) decode utilization grows sublinearly with batch size as
- * the KV cache becomes comparable to the weights.
+ * LLM case study (Sec. VI-B) on the unified API: GPT-2 prefill vs
+ * decode across batch sizes. Demonstrates the ModelRegistry extension
+ * point — the token-length-parameterized prefill/decode variants are
+ * registered as custom builders, then requested by name like any
+ * built-in model. Reproduces the paper's two observations: (1) decode
+ * has near-zero DRAM-scheduling headroom because weight + KV-cache
+ * loading dominates; (2) decode utilization grows sublinearly with
+ * batch size as the KV cache becomes comparable to the weights.
  *
- * Run: ./build/examples/gpt2_llm [edge|cloud] [seed]
+ * Run: ./build/gpt2_llm [edge|cloud] [seed]
  */
 #include <cstring>
 #include <iostream>
 
-#include "baselines/cocco.h"
+#include "api/scheduler.h"
 #include "common/table.h"
-#include "hw/hardware.h"
-#include "search/soma.h"
 #include "workload/models.h"
 
 int
@@ -24,10 +25,23 @@ main(int argc, char **argv)
     bool cloud = argc > 1 && std::strcmp(argv[1], "cloud") == 0;
     std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
 
-    HardwareConfig hw = cloud ? CloudAccelerator() : EdgeAccelerator();
     Gpt2Config cfg = cloud ? Gpt2Xl() : Gpt2Small();
     int tokens = cloud ? 1024 : 512;
 
+    Scheduler scheduler;
+
+    // Extension point: register custom, token-length-specific builders
+    // next to the built-in zoo.
+    scheduler.models().Register("gpt2-prefill-case", [cfg, tokens](int b) {
+        return BuildGpt2Prefill(cfg, b, tokens);
+    });
+    scheduler.models().Register("gpt2-decode-case", [cfg, tokens](int b) {
+        return BuildGpt2Decode(cfg, b, tokens);
+    });
+
+    HardwareConfig hw;
+    std::string err;
+    scheduler.hardware().Make(cloud ? "cloud" : "edge", &hw, &err);
     std::cout << (cloud ? "GPT-2-XL" : "GPT-2-Small") << " on "
               << hw.PeakTops() << " TOPS " << hw.name << " (tokens "
               << tokens << ")\n\n";
@@ -36,11 +50,21 @@ main(int argc, char **argv)
              "latency(ms)", "KV bytes/W bytes"});
     for (int batch : {1, 4, 16}) {
         for (bool decode : {false, true}) {
-            Graph g = decode ? BuildGpt2Decode(cfg, batch, tokens)
-                             : BuildGpt2Prefill(cfg, batch, tokens);
-            SomaSearchResult r = RunSoma(g, hw, QuickSomaOptions(seed));
+            ScheduleRequest request;
+            request.model =
+                decode ? "gpt2-decode-case" : "gpt2-prefill-case";
+            request.batch = batch;
+            request.hardware = cloud ? "cloud" : "edge";
+            request.profile = SearchProfile::kQuick;
+            request.seed = seed;
+            ScheduleResult r = scheduler.Schedule(request);
+            if (!r.ok) {
+                std::cerr << "schedule failed: " << r.error << "\n";
+                return 1;
+            }
             double kv_bytes = 2.0 * cfg.layers * batch * tokens * cfg.hidden;
-            double w_bytes = static_cast<double>(g.TotalWeightBytes());
+            double w_bytes =
+                static_cast<double>(r.graph->TotalWeightBytes());
             t.AddRow({decode ? "decode" : "prefill", std::to_string(batch),
                       FormatDouble(r.report.compute_util * 100, 2),
                       FormatDouble(r.report.theory_max_util * 100, 2),

@@ -1,18 +1,14 @@
 /**
  * @file
- * Quickstart: build a small CNN, run the full SoMa exploration on the
- * edge accelerator, print the report, and lower the winning scheme to
- * instructions.
+ * Quickstart on the unified API: build a small CNN, hand an inline-graph
+ * ScheduleRequest to soma::Scheduler, print the report, and read the
+ * instruction-stream and execution-graph artifacts off the result.
  *
- * Run: ./build/examples/quickstart
+ * Run: ./build/quickstart
  */
 #include <iostream>
 
-#include "compiler/instruction_gen.h"
-#include "compiler/ir.h"
-#include "hw/hardware.h"
-#include "search/soma.h"
-#include "sim/report.h"
+#include "api/scheduler.h"
 #include "workload/graph_builder.h"
 
 int
@@ -30,29 +26,41 @@ main()
     LayerId gap = b.GlobalPool("gap", c3);
     LayerId fc = b.FcFull("fc", gap, 10);
     b.MarkOutput(fc);
-    Graph graph = b.Take();
 
-    // 2. Pick hardware and run the two-stage exploration.
-    HardwareConfig hw = EdgeAccelerator();
-    SomaSearchResult result = RunSoma(graph, hw, QuickSomaOptions(/*seed=*/7));
+    // 2. Describe the request: inline graph, edge hardware, quick
+    //    profile, instruction + execution-graph artifacts.
+    ScheduleRequest request;
+    request.graph = std::make_shared<const Graph>(b.Take());
+    request.hardware = "edge";
+    request.profile = SearchProfile::kQuick;
+    request.seed = 7;
+    request.artifacts.instructions = true;
+    request.artifacts.execution_graph = true;
+    request.artifacts.execution_graph_rows = 20;
 
-    std::cout << "Best scheme: " << result.lfa.ToString(graph) << "\n";
+    // 3. Run it through the facade.
+    Scheduler scheduler;
+    ScheduleResult result = scheduler.Schedule(request);
+    if (!result.ok) {
+        std::cerr << "schedule failed: " << result.error << "\n";
+        return 1;
+    }
+
+    std::cout << "Best scheme: " << result.scheme << "\n";
     std::cout << "Latency: " << result.report.latency * 1e6 << " us, "
               << "energy: " << result.report.EnergyJ() * 1e3 << " mJ\n";
     std::cout << "Compute utilization: "
               << result.report.compute_util * 100.0 << "% (theoretical max "
               << result.report.theory_max_util * 100.0 << "%)\n";
 
-    // 3. Execution graph (Fig. 8 style).
-    PrintExecutionGraph(std::cout, graph, result.parsed, result.dlsa,
-                        result.report, /*max_rows=*/20);
+    // 4. Execution graph (Fig. 8 style) — already rendered as an
+    //    artifact.
+    std::cout << result.execution_graph;
 
-    // 4. Lower to IR and instructions.
-    IrModule ir = GenerateIr(graph, result.parsed, result.dlsa);
-    Program prog = GenerateInstructions(ir);
-    std::cout << "\nGenerated " << prog.instructions.size()
-              << " instructions (" << prog.NumLoads() << " loads, "
-              << prog.NumStores() << " stores, " << prog.NumComputes()
+    // 5. The lowered instruction stream came back with the result.
+    std::cout << "\nGenerated " << result.num_instructions
+              << " instructions (" << result.num_loads << " loads, "
+              << result.num_stores << " stores, " << result.num_computes
               << " computes)\n";
     return 0;
 }

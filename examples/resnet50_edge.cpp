@@ -1,19 +1,17 @@
 /**
  * @file
- * ResNet-50 on the 16 TOPS edge accelerator: run the Cocco baseline and
- * both SoMa stages, then print the Fig. 6-style comparison row and the
- * headline speedup/energy numbers for this workload.
+ * ResNet-50 on the 16 TOPS edge accelerator through the unified API:
+ * submit the Cocco baseline and the SoMa two-stage search as concurrent
+ * async jobs on one Scheduler, then print the Fig. 6-style comparison
+ * row and the headline speedup/energy numbers.
  *
- * Run: ./build/examples/resnet50_edge [batch] [seed]
+ * Run: ./build/resnet50_edge [batch] [seed]
  */
 #include <cstdlib>
 #include <iostream>
 
-#include "baselines/cocco.h"
+#include "api/scheduler.h"
 #include "common/table.h"
-#include "hw/hardware.h"
-#include "search/soma.h"
-#include "workload/models.h"
 
 int
 main(int argc, char **argv)
@@ -22,14 +20,35 @@ main(int argc, char **argv)
     int batch = argc > 1 ? std::atoi(argv[1]) : 1;
     std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
 
-    Graph graph = BuildResNet50(batch);
-    HardwareConfig hw = EdgeAccelerator();
+    ScheduleRequest request;
+    request.model = "resnet50";
+    request.batch = batch;
+    request.hardware = "edge";
+    request.profile = SearchProfile::kDefault;
+    request.seed = seed;
+
+    Scheduler scheduler;
+    HardwareConfig hw;
+    std::string err;
+    scheduler.hardware().Make(request.hardware, &hw, &err);
     std::cout << "ResNet-50, batch " << batch << ", " << hw.PeakTops()
               << " TOPS edge, " << FormatBytes(hw.gbuf_bytes) << " GBUF, "
               << hw.dram_gbps << " GB/s DRAM\n\n";
 
-    CoccoResult cocco = RunCocco(graph, hw, DefaultCoccoOptions(seed));
-    SomaSearchResult ours = RunSoma(graph, hw, DefaultSomaOptions(seed));
+    // Submit both schemes; they run concurrently on the shared pool and
+    // their results are independent of each other by construction.
+    ScheduleRequest cocco_request = request;
+    cocco_request.scheduler = "cocco";
+    Scheduler::JobId cocco_job = scheduler.Submit(cocco_request);
+    Scheduler::JobId soma_job = scheduler.Submit(request);
+
+    ScheduleResult cocco = scheduler.Wait(cocco_job);
+    ScheduleResult ours = scheduler.Wait(soma_job);
+    if (!cocco.ok || !ours.ok) {
+        std::cerr << "search failed: "
+                  << (cocco.ok ? ours.error : cocco.error) << "\n";
+        return 1;
+    }
 
     Table t({"scheme", "latency(ms)", "energy(mJ)", "util(%)", "theory(%)",
              "avg buf", "LGs", "tiles"});
@@ -46,7 +65,7 @@ main(int argc, char **argv)
     row("ours_2", ours.report);
     t.Print(std::cout);
 
-    std::cout << "\nSoMa scheme: " << ours.lfa.ToString(graph) << "\n";
+    std::cout << "\nSoMa scheme: " << ours.scheme << "\n";
     std::cout << "speedup over cocco: "
               << FormatDouble(cocco.report.latency / ours.report.latency, 2)
               << "x, energy reduction: "

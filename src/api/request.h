@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The declarative half of the unified scheduler API: a ScheduleRequest
+ * describes *what* to schedule (workload, hardware point, objective,
+ * search profile, scheduler, artifacts) and a ScheduleResult carries
+ * everything a consumer may want back (scheme, EvalReport, optional
+ * IR / instruction / trace artifacts, search statistics, timings).
+ *
+ * Both sides serialize to JSON (the somac CLI's wire format). The JSON
+ * encoding is lossless for every scheduling-relevant field: doubles are
+ * written with 17 significant digits and seeds as exact integers, so a
+ * request round-tripped through JSON produces bit-identical results and
+ * a round-tripped result compares bit-for-bit on latency/energy.
+ *
+ * Inline graphs (ScheduleRequest::graph) are an in-process convenience
+ * and intentionally have no JSON form — named models go through the
+ * ModelRegistry instead.
+ */
+#ifndef SOMA_API_REQUEST_H
+#define SOMA_API_REQUEST_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/cocco.h"
+#include "common/json.h"
+#include "search/soma.h"
+#include "sim/report.h"
+#include "workload/graph.h"
+
+namespace soma {
+
+/** Search effort presets mapping onto the DESIGN.md budget table. */
+enum class SearchProfile { kQuick, kDefault, kFull };
+
+const char *ToString(SearchProfile profile);
+bool ParseSearchProfile(const std::string &name, SearchProfile *out);
+
+/** Which optional outputs the pipeline should materialize. */
+struct ArtifactRequest {
+    bool ir = false;            ///< textual IR (compiler/ir.h)
+    bool instructions = false;  ///< load/store/compute stream (.asm text)
+    bool traces = false;        ///< compute/dram/buffer CSV traces
+    bool execution_graph = false;  ///< Fig. 8 style text rendering
+    int execution_graph_rows = 40;
+};
+
+/** Progress notification fired at pipeline phase boundaries. */
+struct ProgressEvent {
+    std::uint64_t job = 0;  ///< 0 for synchronous Schedule() calls
+    std::string phase;      ///< "build" | "search" | "artifacts" | "done"
+    double elapsed_seconds = 0.0;
+};
+
+/**
+ * One scheduling request. Defaults describe the cheapest sensible run:
+ * quick profile, edge hardware, the SoMa two-stage scheduler, no
+ * artifacts.
+ */
+struct ScheduleRequest {
+    /** Workload: a ModelRegistry name plus batch size... */
+    std::string model;
+    int batch = 1;
+    /** ...or an inline graph, which takes precedence over `model`.
+     *  In-process only (not serialized). */
+    std::shared_ptr<const Graph> graph;
+
+    /** HardwareRegistry name, plus optional DSE-style overrides
+     *  (0 = keep the registry preset's value). */
+    std::string hardware = "edge";
+    Bytes gbuf_bytes = 0;
+    double dram_gbps = 0.0;
+
+    /** SchedulerRegistry name: "soma", "cocco", "lfa-only", ... */
+    std::string scheduler = "soma";
+    SearchProfile profile = SearchProfile::kQuick;
+    std::uint64_t seed = 1;
+
+    /** Objective exponents: Energy^n x Delay^m. */
+    double cost_n = 1.0;
+    double cost_m = 1.0;
+
+    /** SearchDriver overrides (0 = profile default). `chains` changes
+     *  results deterministically; `threads` never does. */
+    int chains = 0;
+    int threads = 0;
+
+    ArtifactRequest artifacts;
+
+    /** Fired from the executing thread at phase boundaries. Not
+     *  serialized. */
+    std::function<void(const ProgressEvent &)> on_progress;
+
+    Json ToJson() const;
+    /** Strict: unknown keys and type mismatches are errors. */
+    static bool FromJson(const Json &json, ScheduleRequest *out,
+                         std::string *err);
+};
+
+/** Flattened search counters + wall-clock timings of one request. */
+struct SearchStatsSummary {
+    long long iterations = 0;  ///< SA budget consumed, all stages/chains
+    long long evaluated = 0;   ///< candidates actually evaluated
+    long long accepted = 0;
+    long long improved = 0;
+    int outer_iterations = 0;  ///< buffer-allocator iterations
+    double search_seconds = 0.0;  ///< exploration only
+    double total_seconds = 0.0;   ///< build + search + artifacts
+};
+
+/**
+ * Everything that comes back from one request. `ok` is the master
+ * switch: when false, `error` explains and only the echo fields are
+ * meaningful. The in-process payload section carries the raw encodings
+ * for consumers that keep computing (IR generation, execution-graph
+ * rendering, VM replay); it is not serialized.
+ */
+struct ScheduleResult {
+    bool ok = false;
+    std::string error;
+
+    // Request echo.
+    std::string model;
+    int batch = 1;
+    std::string hardware;
+    std::string scheduler;
+    SearchProfile profile = SearchProfile::kQuick;
+    std::uint64_t seed = 1;
+
+    std::string scheme;  ///< human-readable LFA (LfaEncoding::ToString)
+    double cost = 0.0;   ///< Energy^n x Delay^m of `report`
+    EvalReport report;
+    EvalReport stage1_report;  ///< "Ours_1"; valid only for soma runs
+
+    SearchStatsSummary stats;
+
+    // Artifacts (empty unless requested and ok).
+    std::string ir_text;
+    std::string asm_text;
+    std::string compute_csv;
+    std::string dram_csv;
+    std::string buffer_csv;
+    std::string execution_graph;
+    std::string stage1_execution_graph;  ///< soma runs only
+    int num_instructions = 0;  ///< filled with `instructions` artifact
+    int num_loads = 0;
+    int num_stores = 0;
+    int num_computes = 0;
+
+    // In-process payload (not serialized).
+    std::shared_ptr<const Graph> graph;
+    LfaEncoding lfa;
+    ParsedSchedule parsed;
+    DlsaEncoding dlsa;
+    DlsaEncoding stage1_dlsa;
+
+    Json ToJson() const;
+    /** Reconstructs every serialized field (scalars + artifacts); the
+     *  in-process payload stays empty. */
+    static bool FromJson(const Json &json, ScheduleResult *out,
+                         std::string *err);
+};
+
+/** The scalar EvalReport fields as JSON (timelines are not encoded). */
+Json ReportToJson(const EvalReport &report);
+bool ReportFromJson(const Json &json, EvalReport *out, std::string *err);
+
+/**
+ * Resolve a request's profile/seed/objective/driver overrides into the
+ * canonical SomaOptions (Quick/Default/FullSomaOptions + overrides).
+ * The same resolution feeds every registered scheduler, so "same
+ * request" means "same search" no matter which path ran it.
+ */
+SomaOptions SomaOptionsForRequest(const ScheduleRequest &request);
+
+/** The Cocco-baseline equivalent (mirrors the bench profiles). */
+CoccoOptions CoccoOptionsForRequest(const ScheduleRequest &request);
+
+}  // namespace soma
+
+#endif  // SOMA_API_REQUEST_H

@@ -1,0 +1,310 @@
+#include "api/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "compiler/instruction_gen.h"
+#include "compiler/ir.h"
+#include "sim/trace.h"
+
+namespace soma {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+SecondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Copy the request-identity fields every result carries. */
+void
+EchoRequest(const ScheduleRequest &request, ScheduleResult *result)
+{
+    result->model = request.graph ? request.graph->name() : request.model;
+    result->batch = request.graph ? request.graph->batch() : request.batch;
+    result->hardware = request.hardware;
+    result->scheduler = request.scheduler;
+    result->profile = request.profile;
+    result->seed = request.seed;
+}
+
+}  // namespace
+
+Scheduler::Scheduler() : Scheduler(Options{}) {}
+
+Scheduler::Scheduler(const Options &options)
+    : options_(options),
+      models_(ModelRegistry::WithBuiltins()),
+      hardware_(HardwareRegistry::WithBuiltins()),
+      schedulers_(SchedulerRegistry::WithBuiltins())
+{
+}
+
+Scheduler::~Scheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_) t.join();
+}
+
+ScheduleResult
+Scheduler::Schedule(const ScheduleRequest &request)
+{
+    return RunPipeline(request, /*id=*/0, /*cancelled=*/nullptr);
+}
+
+void
+Scheduler::EnsureWorkersLocked()
+{
+    if (!workers_.empty()) return;
+    const int n = std::max(1, options_.workers);
+    workers_.reserve(n);
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+Scheduler::JobId
+Scheduler::Submit(ScheduleRequest request)
+{
+    auto job = std::make_shared<Job>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnsureWorkersLocked();
+    job->id = next_id_++;
+    job->request = std::move(request);
+    jobs_[job->id] = job;
+    queue_.push_back(job);
+    work_cv_.notify_one();
+    return job->id;
+}
+
+bool
+Scheduler::Cancel(JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->done) return false;
+    it->second->cancelled.store(true, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+Scheduler::Done(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    return it != jobs_.end() && it->second->done;
+}
+
+ScheduleResult
+Scheduler::Wait(JobId id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        ScheduleResult result;
+        result.error = "unknown job id " + std::to_string(id) +
+                       " (results can be collected once)";
+        return result;
+    }
+    std::shared_ptr<Job> job = it->second;
+    done_cv_.wait(lock, [&] { return job->done; });
+    jobs_.erase(id);
+    return std::move(job->result);
+}
+
+void
+Scheduler::Discard(JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    if (it->second->done) {
+        jobs_.erase(it);
+        return;
+    }
+    it->second->cancelled.store(true, std::memory_order_relaxed);
+    it->second->discarded = true;  // the worker erases it on completion
+}
+
+void
+Scheduler::WorkerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        int granted_threads = 1;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and fully drained
+            job = queue_.front();
+            queue_.pop_front();
+            ++inflight_;
+            // Multiplex the shared driver-thread budget over the jobs
+            // currently executing. Thread counts never change results,
+            // only wall-clock time, so this stays deterministic.
+            int total = options_.driver_threads;
+            if (total <= 0) {
+                unsigned hc = std::thread::hardware_concurrency();
+                total = hc > 0 ? static_cast<int>(hc) : 1;
+            }
+            granted_threads = std::max(1, total / std::max(1, inflight_));
+        }
+
+        ScheduleResult result;
+        if (job->cancelled.load(std::memory_order_relaxed)) {
+            result.ok = false;
+            result.error = "cancelled";
+            EchoRequest(job->request, &result);
+        } else {
+            ScheduleRequest req = job->request;
+            if (req.threads <= 0) req.threads = granted_threads;
+            result = RunPipeline(req, job->id, &job->cancelled);
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inflight_;
+            job->result = std::move(result);
+            job->done = true;
+            if (job->discarded) jobs_.erase(job->id);
+        }
+        done_cv_.notify_all();
+    }
+}
+
+ScheduleResult
+Scheduler::RunPipeline(const ScheduleRequest &request, JobId id,
+                       const std::atomic<bool> *cancelled)
+{
+    const auto t_start = Clock::now();
+    ScheduleResult result;
+    EchoRequest(request, &result);
+
+    auto progress = [&](const char *phase) {
+        if (!request.on_progress) return;
+        ProgressEvent event;
+        event.job = id;
+        event.phase = phase;
+        event.elapsed_seconds = SecondsSince(t_start);
+        request.on_progress(event);
+    };
+    auto fail = [&](std::string why) {
+        result.ok = false;
+        result.error = std::move(why);
+        result.stats.total_seconds = SecondsSince(t_start);
+        return std::move(result);
+    };
+    auto is_cancelled = [&] {
+        return cancelled && cancelled->load(std::memory_order_relaxed);
+    };
+
+    // ---- build: resolve workload, hardware point and strategy.
+    progress("build");
+    std::string err;
+    std::shared_ptr<const Graph> graph = request.graph;
+    if (!graph) {
+        Graph built;
+        if (!models_.Build(request.model, request.batch, &built, &err))
+            return fail(err);
+        graph = std::make_shared<const Graph>(std::move(built));
+    }
+    result.graph = graph;
+
+    HardwareConfig hw;
+    if (!hardware_.Make(request.hardware, &hw, &err)) return fail(err);
+    if (request.gbuf_bytes > 0) hw.gbuf_bytes = request.gbuf_bytes;
+    if (request.dram_gbps > 0) hw.dram_gbps = request.dram_gbps;
+
+    const SchedulerFn *scheduler_fn =
+        schedulers_.Find(request.scheduler, &err);
+    if (!scheduler_fn) return fail(err);
+    const SomaOptions opts = SomaOptionsForRequest(request);
+
+    if (is_cancelled()) return fail("cancelled");
+
+    // ---- search: the expensive phase.
+    progress("search");
+    const auto t_search = Clock::now();
+    SchedulerRunResult run = (*scheduler_fn)(*graph, hw, request, opts);
+    result.stats.search_seconds = SecondsSince(t_search);
+
+    result.scheme = run.lfa.ToString(*graph);
+    result.cost = run.cost;
+    result.report = run.report;
+    result.stage1_report = run.stage1_report;
+    result.lfa = std::move(run.lfa);
+    result.parsed = std::move(run.parsed);
+    result.dlsa = std::move(run.dlsa);
+    result.stage1_dlsa = std::move(run.stage1_dlsa);
+    result.stats.iterations = run.stats.iterations;
+    result.stats.evaluated = run.stats.evaluated;
+    result.stats.accepted = run.stats.accepted;
+    result.stats.improved = run.stats.improved;
+    result.stats.outer_iterations = run.outer_iterations;
+
+    if (!result.report.valid) {
+        std::string why = "no valid schedule found";
+        if (!result.report.why_invalid.empty())
+            why += ": " + result.report.why_invalid;
+        return fail(std::move(why));
+    }
+    result.ok = true;
+
+    if (is_cancelled()) return fail("cancelled");
+
+    // ---- artifacts: lower / render only what was asked for.
+    progress("artifacts");
+    const ArtifactRequest &arts = request.artifacts;
+    if (arts.ir || arts.instructions) {
+        IrModule ir = GenerateIr(*graph, result.parsed, result.dlsa);
+        if (arts.ir) result.ir_text = ir.ToText();
+        if (arts.instructions) {
+            Program prog = GenerateInstructions(ir);
+            result.asm_text = prog.ToText();
+            result.num_instructions =
+                static_cast<int>(prog.instructions.size());
+            result.num_loads = prog.NumLoads();
+            result.num_stores = prog.NumStores();
+            result.num_computes = prog.NumComputes();
+        }
+    }
+    if (arts.traces) {
+        std::ostringstream compute, dram, buffer;
+        WriteComputeTraceCsv(compute, *graph, result.parsed,
+                             result.report);
+        WriteDramTraceCsv(dram, *graph, result.parsed, result.dlsa,
+                          result.report);
+        WriteBufferTraceCsv(buffer, result.parsed, result.dlsa);
+        result.compute_csv = compute.str();
+        result.dram_csv = dram.str();
+        result.buffer_csv = buffer.str();
+    }
+    if (arts.execution_graph) {
+        std::ostringstream os;
+        PrintExecutionGraph(os, *graph, result.parsed, result.dlsa,
+                            result.report, arts.execution_graph_rows);
+        result.execution_graph = os.str();
+        if (result.stage1_report.valid) {
+            std::ostringstream os1;
+            PrintExecutionGraph(os1, *graph, result.parsed,
+                                result.stage1_dlsa, result.stage1_report,
+                                arts.execution_graph_rows);
+            result.stage1_execution_graph = os1.str();
+        }
+    }
+
+    progress("done");
+    result.stats.total_seconds = SecondsSince(t_start);
+    return result;
+}
+
+}  // namespace soma

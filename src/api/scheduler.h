@@ -1,0 +1,131 @@
+/**
+ * @file
+ * soma::Scheduler — the unified entry point for scheduling requests
+ * (the Fig. 5 pipeline as a service). One object owns the three
+ * registries and a worker pool; consumers hand it ScheduleRequests and
+ * get ScheduleResults back, either synchronously (Schedule) or through
+ * the asynchronous Submit/Wait path that multiplexes any number of
+ * concurrent requests onto the shared pool.
+ *
+ * Determinism contract: a result depends only on the request (model,
+ * hardware, scheduler, profile, seed, objective, chains) — never on how
+ * many sibling requests are in flight, which worker ran it, or how many
+ * driver threads it was granted. The SearchDriver guarantees the
+ * thread-count independence; the facade adds per-job isolation (each
+ * job's search state lives entirely inside its pipeline call).
+ *
+ * Cancellation is cooperative with phase granularity: Cancel() marks
+ * the job, and the pipeline gives up at the next phase boundary
+ * (queued jobs never start). A running search phase completes first.
+ *
+ * The legacy free functions (RunSoma, RunCocco, GenerateIr, ...) remain
+ * as thin compatibility wrappers — the facade is built from them.
+ */
+#ifndef SOMA_API_SCHEDULER_H
+#define SOMA_API_SCHEDULER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/request.h"
+
+namespace soma {
+
+class Scheduler {
+  public:
+    using JobId = std::uint64_t;
+
+    struct Options {
+        /** Worker threads serving Submit()ted jobs. */
+        int workers = 2;
+        /** SearchDriver thread budget shared by all in-flight async
+         *  jobs (0 = hardware_concurrency). Affects wall-clock only,
+         *  never results. */
+        int driver_threads = 0;
+    };
+
+    Scheduler();
+    explicit Scheduler(const Options &options);
+
+    /** Blocks until every submitted job has finished (Cancel first for
+     *  a fast shutdown), then joins the workers. */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** The pluggable extension points. Configure before scheduling;
+     *  registration is not synchronized with in-flight jobs. */
+    ModelRegistry &models() { return models_; }
+    HardwareRegistry &hardware() { return hardware_; }
+    SchedulerRegistry &schedulers() { return schedulers_; }
+
+    /** Run @p request to completion in the calling thread. */
+    ScheduleResult Schedule(const ScheduleRequest &request);
+
+    /** Enqueue @p request; returns immediately. Workers are started
+     *  lazily on first use. */
+    JobId Submit(ScheduleRequest request);
+
+    /** Cooperative cancel. True if the job exists and was not yet
+     *  finished (the result may still complete if the pipeline passes
+     *  no further phase boundary). */
+    bool Cancel(JobId id);
+
+    /** True once the job's result is available. False for unknown
+     *  (or already collected) ids. */
+    bool Done(JobId id) const;
+
+    /** Block until @p id finishes and collect its result. Each job can
+     *  be waited on exactly once; unknown ids yield ok=false. */
+    ScheduleResult Wait(JobId id);
+
+    /** Drop a job without collecting it: cancels it if still pending
+     *  and releases its result as soon as it exists. Results are
+     *  otherwise retained until Wait() — fire-and-forget traffic must
+     *  Discard() (or Wait()) every job it will not collect, or the
+     *  result store grows with each submission. */
+    void Discard(JobId id);
+
+  private:
+    struct Job {
+        JobId id = 0;
+        ScheduleRequest request;
+        std::atomic<bool> cancelled{false};
+        bool discarded = false;
+        bool done = false;
+        ScheduleResult result;
+    };
+
+    ScheduleResult RunPipeline(const ScheduleRequest &request, JobId id,
+                               const std::atomic<bool> *cancelled);
+    void WorkerLoop();
+    void EnsureWorkersLocked();
+
+    Options options_;
+    ModelRegistry models_;
+    HardwareRegistry hardware_;
+    SchedulerRegistry schedulers_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< queue -> workers
+    std::condition_variable done_cv_;  ///< workers -> Wait()
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::map<JobId, std::shared_ptr<Job>> jobs_;
+    std::vector<std::thread> workers_;
+    JobId next_id_ = 1;
+    int inflight_ = 0;  ///< jobs currently executing a pipeline
+    bool stopping_ = false;
+};
+
+}  // namespace soma
+
+#endif  // SOMA_API_SCHEDULER_H

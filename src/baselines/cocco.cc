@@ -31,6 +31,15 @@ DefaultCoccoOptions(std::uint64_t seed)
     return opts;
 }
 
+CoccoOptions
+FullCoccoOptions(std::uint64_t seed)
+{
+    CoccoOptions opts = DefaultCoccoOptions(seed);
+    opts.beta = 100;
+    opts.max_iterations = 20000;
+    return opts;
+}
+
 LfaEncoding
 MakeCoccoLfa(const Graph &graph, const HardwareConfig &hw,
              const std::vector<LayerId> &order,

@@ -52,6 +52,10 @@ CoccoOptions QuickCoccoOptions(std::uint64_t seed = 1);
 /** The default evaluation profile used by the benches. */
 CoccoOptions DefaultCoccoOptions(std::uint64_t seed = 1);
 
+/** Paper-fidelity budgets mirroring FullSomaOptions: the benches' and
+ *  the API's "full" profile. */
+CoccoOptions FullCoccoOptions(std::uint64_t seed = 1);
+
 /** Run the Cocco exploration. */
 CoccoResult RunCocco(const Graph &graph, const HardwareConfig &hw,
                      const CoccoOptions &opts);

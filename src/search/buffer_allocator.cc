@@ -44,6 +44,7 @@ RunBufferAllocatedSearch(const Graph &graph, const HardwareConfig &hw,
 
         LfaStageResult s1 = RunLfaStage(graph, hw, core_eval, stage_budget,
                                         lfa_opts, rng);
+        AccumulateSaStats(&best.lfa_stats, s1.stats);
         if (!s1.report.valid) {
             SOMA_INFO << "buffer allocator iter " << iter
                       << ": stage 1 found no valid scheme under budget "
@@ -59,6 +60,7 @@ RunBufferAllocatedSearch(const Graph &graph, const HardwareConfig &hw,
 
         DlsaStageResult s2 = RunDlsaStage(graph, hw, s1.parsed, s1.dlsa,
                                           hw.gbuf_bytes, dlsa_opts, rng);
+        AccumulateSaStats(&best.dlsa_stats, s2.stats);
 
         best.iteration_costs.push_back(s2.cost);
         ++best.outer_iterations;

@@ -35,6 +35,8 @@ struct SomaSearchResult {
     double cost = 0.0;
     int outer_iterations = 0;
     std::vector<double> iteration_costs;  ///< best total cost per iteration
+    SaStats lfa_stats;   ///< LFA-stage counters summed over outer iters
+    SaStats dlsa_stats;  ///< DLSA-stage counters summed over outer iters
 };
 
 /**

@@ -167,16 +167,9 @@ RunSearchDriver(const State &initial, double initial_cost,
     result.winner_chain = w;
     result.chain_stats.reserve(chains);
     for (const Chain &ch : pool) result.chain_stats.push_back(ch.stats);
+    for (const Chain &ch : pool) AccumulateSaStats(&result.stats, ch.stats);
     result.stats.initial_cost = initial_cost;
     result.stats.best_cost = result.cost;
-    for (const Chain &ch : pool) {
-        result.stats.iterations += ch.stats.iterations;
-        result.stats.evaluated += ch.stats.evaluated;
-        result.stats.no_move += ch.stats.no_move;
-        result.stats.accepted += ch.stats.accepted;
-        result.stats.rejected += ch.stats.rejected;
-        result.stats.improved += ch.stats.improved;
-    }
     return result;
 }
 

@@ -1,5 +1,6 @@
 #include "search/sa.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace soma {
@@ -9,6 +10,19 @@ SaTemperature(const SaOptions &opts, int n)
 {
     double frac = static_cast<double>(n) / std::max(1, opts.iterations);
     return opts.t0 * (1.0 - frac) / (1.0 + opts.alpha * frac);
+}
+
+void
+AccumulateSaStats(SaStats *into, const SaStats &add)
+{
+    into->iterations += add.iterations;
+    into->evaluated += add.evaluated;
+    into->no_move += add.no_move;
+    into->accepted += add.accepted;
+    into->rejected += add.rejected;
+    into->improved += add.improved;
+    into->initial_cost = std::min(into->initial_cost, add.initial_cost);
+    into->best_cost = std::min(into->best_cost, add.best_cost);
 }
 
 bool

@@ -56,6 +56,14 @@ struct SaStats {
 };
 
 /**
+ * Fold @p add into @p into: counters are summed, initial_cost and
+ * best_cost keep the minimum (infinity-safe). Used by the SearchDriver
+ * to aggregate per-chain stats and by the Buffer Allocator to aggregate
+ * per-outer-iteration stage stats.
+ */
+void AccumulateSaStats(SaStats *into, const SaStats &add);
+
+/**
  * Anneal iterations [begin, end) of the opts.iterations-long schedule.
  *
  * @p current / @p current_cost is the walking state, @p best /

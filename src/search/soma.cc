@@ -3,6 +3,18 @@
 namespace soma {
 
 SomaOptions
+PropagateSomaOptions(SomaOptions opts)
+{
+    opts.lfa.cost_n = opts.cost_n;
+    opts.lfa.cost_m = opts.cost_m;
+    opts.dlsa.cost_n = opts.cost_n;
+    opts.dlsa.cost_m = opts.cost_m;
+    opts.lfa.driver = opts.driver;
+    opts.dlsa.driver = opts.driver;
+    return opts;
+}
+
+SomaOptions
 QuickSomaOptions(std::uint64_t seed)
 {
     SomaOptions opts;
@@ -12,7 +24,6 @@ QuickSomaOptions(std::uint64_t seed)
     opts.dlsa.beta = 10;
     opts.dlsa.max_iterations = 1500;
     opts.alloc.max_iterations = 2;
-    opts.Finalize();
     return opts;
 }
 
@@ -27,14 +38,25 @@ DefaultSomaOptions(std::uint64_t seed)
     opts.dlsa.beta = 40;
     opts.dlsa.max_iterations = 8000;
     opts.alloc.max_iterations = 3;
-    opts.Finalize();
+    return opts;
+}
+
+SomaOptions
+FullSomaOptions(std::uint64_t seed)
+{
+    SomaOptions opts = DefaultSomaOptions(seed);
+    opts.lfa.beta = 100;
+    opts.lfa.max_iterations = 20000;
+    opts.dlsa.beta = 100;
+    opts.dlsa.max_iterations = 30000;
+    opts.alloc.max_iterations = 5;
     return opts;
 }
 
 SomaSearchResult
 RunSoma(const Graph &graph, const HardwareConfig &hw, SomaOptions opts)
 {
-    opts.Finalize();
+    opts = PropagateSomaOptions(std::move(opts));
     Rng rng(opts.seed);
     return RunBufferAllocatedSearch(graph, hw, opts.lfa, opts.dlsa,
                                     opts.alloc, rng);

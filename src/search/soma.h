@@ -32,18 +32,16 @@ struct SomaOptions {
     LfaStageOptions lfa;
     DlsaStageOptions dlsa;
     BufferAllocatorOptions alloc;
-
-    /** Propagate cost exponents and driver config into the stages. */
-    void Finalize()
-    {
-        lfa.cost_n = cost_n;
-        lfa.cost_m = cost_m;
-        dlsa.cost_n = cost_n;
-        dlsa.cost_m = cost_m;
-        lfa.driver = driver;
-        dlsa.driver = driver;
-    }
 };
+
+/**
+ * Copy of @p opts with the top-level cost exponents and driver config
+ * propagated into both stage options. RunSoma applies this internally —
+ * callers never need to; it is exposed only for code that invokes
+ * RunLfaStage / RunDlsaStage directly from a SomaOptions (e.g. the
+ * "lfa-only" scheduler in src/api/registry.cc).
+ */
+SomaOptions PropagateSomaOptions(SomaOptions opts);
 
 /** A quick profile for tests/examples: small SA budgets. */
 SomaOptions QuickSomaOptions(std::uint64_t seed = 1);
@@ -51,7 +49,12 @@ SomaOptions QuickSomaOptions(std::uint64_t seed = 1);
 /** The default evaluation profile used by the benches. */
 SomaOptions DefaultSomaOptions(std::uint64_t seed = 1);
 
-/** Run the full two-stage, buffer-allocated exploration. */
+/** Paper-fidelity budgets (beta_1 = beta_2 = 100, 5 outer iterations):
+ *  the benches' "full" profile. */
+SomaOptions FullSomaOptions(std::uint64_t seed = 1);
+
+/** Run the full two-stage, buffer-allocated exploration. Cost exponents
+ *  and driver config are propagated into the stages internally. */
 SomaSearchResult RunSoma(const Graph &graph, const HardwareConfig &hw,
                          SomaOptions opts);
 

@@ -1,0 +1,479 @@
+/**
+ * @file
+ * somac — the SoMa scheduler as a command-line service. Wraps the
+ * soma::Scheduler facade: a request JSON (or flags) in, a result JSON
+ * (plus optional artifact files) out, with the same bit-for-bit
+ * results as the in-process API for the same (seed, chains).
+ *
+ *   somac run <request.json> [overrides] [-o result.json] [--outdir D]
+ *   somac run --model resnet50 --profile quick --seed 7 [-o out.json]
+ *   somac list models|hardware|schedulers
+ *   somac validate <result.json>
+ *   somac help
+ *
+ * `validate` is the tiny schema validator CI uses on the smoke run's
+ * output; it checks presence and types of the stable result fields.
+ */
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/scheduler.h"
+
+namespace {
+
+using namespace soma;
+
+int
+Usage(std::ostream &os, int code)
+{
+    os << "somac — SoMa DRAM-communication scheduler CLI\n"
+          "\n"
+          "usage:\n"
+          "  somac run [request.json] [overrides] [-o result.json]\n"
+          "            [--outdir DIR] [--quiet]\n"
+          "  somac list models|hardware|schedulers\n"
+          "  somac validate result.json\n"
+          "  somac help\n"
+          "\n"
+          "run overrides (flag form of the request JSON fields):\n"
+          "  --model NAME        workload (see `somac list models`)\n"
+          "  --batch N           batch size (default 1)\n"
+          "  --hw NAME           hardware preset (edge|cloud|custom)\n"
+          "  --gbuf-mb MB        override GBUF size\n"
+          "  --dram-gbps GBPS    override DRAM bandwidth\n"
+          "  --scheduler NAME    soma|cocco|lfa-only (default soma)\n"
+          "  --profile P         quick|default|full (default quick)\n"
+          "  --seed N            search seed (default 1)\n"
+          "  --cost-n X --cost-m Y   objective Energy^n x Delay^m\n"
+          "  --chains K          SA chains (deterministic knob)\n"
+          "  --threads T         driver threads (wall-clock only)\n"
+          "  --ir --asm --traces --exec-graph   request artifacts\n"
+          "  --exec-graph-rows N  execution-graph rows (default 40)\n"
+          "\n"
+          "-o/--out writes the result JSON (default: stdout);\n"
+          "--outdir additionally writes artifacts as files\n"
+          "(<model>.ir, <model>.asm, <model>_{compute,dram,buffer}.csv,\n"
+          "<model>_execgraph.txt).\n";
+    return code;
+}
+
+bool
+ParseIntArg(const std::string &flag, const std::string &text, int *out)
+{
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(text.c_str(), &end, 10);
+    if (errno != 0 || !end || *end != '\0' || end == text.c_str() ||
+        v < INT_MIN || v > INT_MAX) {
+        std::cerr << flag << ": \"" << text << "\" is not an integer\n";
+        return false;
+    }
+    *out = static_cast<int>(v);
+    return true;
+}
+
+bool
+ParseU64Arg(const std::string &flag, const std::string &text,
+            std::uint64_t *out)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || !end || *end != '\0' || end == text.c_str()) {
+        std::cerr << flag << ": \"" << text
+                  << "\" is not an unsigned integer\n";
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+bool
+ParseDoubleArg(const std::string &flag, const std::string &text,
+               double *out)
+{
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || !end || *end != '\0' || end == text.c_str()) {
+        std::cerr << flag << ": \"" << text << "\" is not a number\n";
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+bool
+ReadFile(const std::string &path, std::string *out, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+bool
+WriteFile(const std::string &path, const std::string &content,
+          std::string *err)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        *err = "cannot write " + path;
+        return false;
+    }
+    out << content;
+    return static_cast<bool>(out);
+}
+
+int
+CmdList(const std::vector<std::string> &args)
+{
+    Scheduler scheduler;
+    std::string what = args.empty() ? "all" : args[0];
+    auto print = [](const char *title,
+                    const std::vector<std::string> &names) {
+        std::cout << title << ":\n";
+        for (const std::string &n : names) std::cout << "  " << n << "\n";
+    };
+    if (what == "models" || what == "all")
+        print("models", scheduler.models().Names());
+    if (what == "hardware" || what == "all")
+        print("hardware", scheduler.hardware().Names());
+    if (what == "schedulers" || what == "all")
+        print("schedulers", scheduler.schedulers().Names());
+    if (what != "models" && what != "hardware" && what != "schedulers" &&
+        what != "all") {
+        std::cerr << "unknown list target \"" << what
+                  << "\" (models|hardware|schedulers)\n";
+        return 2;
+    }
+    return 0;
+}
+
+/** Does this `somac run` flag consume the following argument? */
+bool
+FlagTakesValue(const std::string &flag)
+{
+    static const char *kValueFlags[] = {
+        "--model", "--batch", "--hw", "--hardware", "--gbuf-mb",
+        "--dram-gbps", "--scheduler", "--profile", "--seed", "--cost-n",
+        "--cost-m", "--chains", "--threads", "--exec-graph-rows", "-o",
+        "--out", "--outdir"};
+    for (const char *f : kValueFlags)
+        if (flag == f) return true;
+    return false;
+}
+
+bool
+IsBooleanFlag(const std::string &flag)
+{
+    static const char *kBoolFlags[] = {"--ir", "--asm", "--traces",
+                                       "--exec-graph", "--quiet"};
+    for (const char *f : kBoolFlags)
+        if (flag == f) return true;
+    return false;
+}
+
+int
+CmdRun(const std::vector<std::string> &args)
+{
+    ScheduleRequest request;
+    std::string out_path, outdir;
+    bool quiet = false;
+    bool have_request = false;
+
+    // Pass 1: load the positional request JSON (if any) first, so
+    // flags override its fields no matter where they appear.
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (!arg.empty() && arg[0] == '-') {
+            // Reject unknown flags here, before their values can be
+            // mistaken for the request-JSON path.
+            if (FlagTakesValue(arg)) {
+                ++i;
+            } else if (!IsBooleanFlag(arg)) {
+                std::cerr << "unknown flag " << arg << "\n";
+                return 2;
+            }
+            continue;
+        }
+        if (have_request) {
+            std::cerr << "more than one request JSON given (\"" << arg
+                      << "\")\n";
+            return 2;
+        }
+        std::string text, err;
+        if (!ReadFile(arg, &text, &err)) {
+            std::cerr << err << "\n";
+            return 2;
+        }
+        Json json;
+        if (!Json::Parse(text, &json, &err)) {
+            std::cerr << arg << ": " << err << "\n";
+            return 2;
+        }
+        if (!ScheduleRequest::FromJson(json, &request, &err)) {
+            std::cerr << arg << ": " << err << "\n";
+            return 2;
+        }
+        have_request = true;
+    }
+
+    // Pass 2: apply the flag overrides.
+    auto need_value = [&args](std::size_t i, const std::string &flag)
+        -> const std::string * {
+        if (i + 1 >= args.size()) {
+            std::cerr << flag << " needs a value\n";
+            return nullptr;
+        }
+        return &args[i + 1];
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const std::string *v = nullptr;
+        if (arg.empty() || arg[0] != '-') {
+            continue;  // the request JSON, consumed by pass 1
+        } else if (arg == "--model") {
+            if (!(v = need_value(i, arg))) return 2;
+            request.model = *v, ++i;
+        } else if (arg == "--batch") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseIntArg(arg, *v, &request.batch)) return 2;
+            ++i;
+        } else if (arg == "--hw" || arg == "--hardware") {
+            if (!(v = need_value(i, arg))) return 2;
+            request.hardware = *v, ++i;
+        } else if (arg == "--gbuf-mb") {
+            if (!(v = need_value(i, arg))) return 2;
+            double mb = 0;
+            if (!ParseDoubleArg(arg, *v, &mb)) return 2;
+            request.gbuf_bytes = static_cast<Bytes>(mb * 1024 * 1024);
+            ++i;
+        } else if (arg == "--dram-gbps") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseDoubleArg(arg, *v, &request.dram_gbps)) return 2;
+            ++i;
+        } else if (arg == "--scheduler") {
+            if (!(v = need_value(i, arg))) return 2;
+            request.scheduler = *v, ++i;
+        } else if (arg == "--profile") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseSearchProfile(*v, &request.profile)) {
+                std::cerr << "unknown profile \"" << *v
+                          << "\" (quick|default|full)\n";
+                return 2;
+            }
+            ++i;
+        } else if (arg == "--seed") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseU64Arg(arg, *v, &request.seed)) return 2;
+            ++i;
+        } else if (arg == "--cost-n") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseDoubleArg(arg, *v, &request.cost_n)) return 2;
+            ++i;
+        } else if (arg == "--cost-m") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseDoubleArg(arg, *v, &request.cost_m)) return 2;
+            ++i;
+        } else if (arg == "--chains") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseIntArg(arg, *v, &request.chains)) return 2;
+            ++i;
+        } else if (arg == "--threads") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseIntArg(arg, *v, &request.threads)) return 2;
+            ++i;
+        } else if (arg == "--ir") {
+            request.artifacts.ir = true;
+        } else if (arg == "--asm") {
+            request.artifacts.instructions = true;
+        } else if (arg == "--traces") {
+            request.artifacts.traces = true;
+        } else if (arg == "--exec-graph") {
+            request.artifacts.execution_graph = true;
+        } else if (arg == "--exec-graph-rows") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseIntArg(arg, *v,
+                             &request.artifacts.execution_graph_rows))
+                return 2;
+            ++i;
+        } else if (arg == "-o" || arg == "--out") {
+            if (!(v = need_value(i, arg))) return 2;
+            out_path = *v, ++i;
+        } else if (arg == "--outdir") {
+            if (!(v = need_value(i, arg))) return 2;
+            outdir = *v, ++i;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::cerr << "unknown flag " << arg << "\n";
+            return 2;
+        }
+    }
+    if (!have_request && request.model.empty()) {
+        std::cerr << "nothing to schedule: pass a request JSON or "
+                     "--model (see somac help)\n";
+        return 2;
+    }
+
+    Scheduler scheduler;
+    if (!quiet) {
+        request.on_progress = [](const ProgressEvent &event) {
+            std::cerr << "[somac] " << event.phase << " +"
+                      << event.elapsed_seconds << "s\n";
+        };
+    }
+    ScheduleResult result = scheduler.Schedule(request);
+
+    std::string err;
+    const std::string result_text = result.ToJson().Dump(2) + "\n";
+    if (out_path.empty()) {
+        std::cout << result_text;
+    } else if (!WriteFile(out_path, result_text, &err)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+
+    if (!outdir.empty() && result.ok) {
+        const std::string base = outdir + "/" + result.model;
+        struct File {
+            const std::string &content;
+            std::string path;
+        };
+        const File files[] = {
+            {result.ir_text, base + ".ir"},
+            {result.asm_text, base + ".asm"},
+            {result.compute_csv, base + "_compute.csv"},
+            {result.dram_csv, base + "_dram.csv"},
+            {result.buffer_csv, base + "_buffer.csv"},
+            {result.execution_graph, base + "_execgraph.txt"},
+        };
+        for (const File &f : files) {
+            if (f.content.empty()) continue;
+            if (!WriteFile(f.path, f.content, &err)) {
+                std::cerr << err << "\n";
+                return 2;
+            }
+            if (!quiet) std::cerr << "[somac] wrote " << f.path << "\n";
+        }
+    }
+
+    if (!result.ok) {
+        std::cerr << "schedule failed: " << result.error << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+/** Schema check for result JSONs: required keys with the right types. */
+int
+CmdValidate(const std::vector<std::string> &args)
+{
+    if (args.size() != 1) {
+        std::cerr << "usage: somac validate result.json\n";
+        return 2;
+    }
+    std::string text, err;
+    if (!ReadFile(args[0], &text, &err)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+    Json json;
+    if (!Json::Parse(text, &json, &err)) {
+        std::cerr << args[0] << ": " << err << "\n";
+        return 1;
+    }
+
+    std::vector<std::string> problems;
+    auto require = [&](const char *key, Json::Type type) -> const Json * {
+        const Json *v = json.Find(key);
+        if (!v) {
+            problems.push_back(std::string("missing field \"") + key +
+                               "\"");
+            return nullptr;
+        }
+        if (v->type() != type) {
+            problems.push_back(std::string("field \"") + key +
+                               "\" has the wrong type");
+            return nullptr;
+        }
+        return v;
+    };
+
+    const Json *ok = require("ok", Json::Type::kBool);
+    require("model", Json::Type::kString);
+    require("hardware", Json::Type::kString);
+    require("scheduler", Json::Type::kString);
+    require("profile", Json::Type::kString);
+    require("seed", Json::Type::kNumber);
+    require("stats", Json::Type::kObject);
+    const Json *report = require("report", Json::Type::kObject);
+    if (report) {
+        static const char *kNums[] = {
+            "core_energy_j", "dram_energy_j", "compute_util",
+            "theory_max_util", "peak_buffer", "dram_bytes",
+            "num_tiles", "num_tensors", "num_flgs", "num_lgs"};
+        for (const char *key : kNums) {
+            const Json *v = report->Find(key);
+            if (!v || !v->IsNumber())
+                problems.push_back(std::string("report.") + key +
+                                   " missing or not a number");
+        }
+        const Json *valid = report->Find("valid");
+        if (!valid || !valid->IsBool())
+            problems.push_back("report.valid missing or not a boolean");
+        if (ok && ok->AsBool()) {
+            if (valid && !valid->AsBool())
+                problems.push_back("ok is true but report.valid is false");
+            const Json *latency = report->Find("latency");
+            if (!latency || !latency->IsNumber() ||
+                !(latency->AsDouble() > 0))
+                problems.push_back(
+                    "ok result needs a positive numeric report.latency");
+        }
+    }
+    if (ok && ok->AsBool()) {
+        const Json *scheme = json.Find("scheme");
+        if (!scheme || !scheme->IsString() || scheme->AsString().empty())
+            problems.push_back("ok result needs a non-empty scheme");
+    }
+
+    if (!problems.empty()) {
+        for (const std::string &p : problems)
+            std::cerr << args[0] << ": " << p << "\n";
+        return 1;
+    }
+    std::cout << args[0] << ": valid result JSON\n";
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) return Usage(std::cerr, 2);
+    const std::string cmd = args[0];
+    args.erase(args.begin());
+    if (cmd == "run") return CmdRun(args);
+    if (cmd == "list") return CmdList(args);
+    if (cmd == "validate") return CmdValidate(args);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return Usage(std::cout, 0);
+    std::cerr << "unknown command \"" << cmd << "\"\n\n";
+    return Usage(std::cerr, 2);
+}
