@@ -1,6 +1,9 @@
 #include "api/request.h"
 
+#include <chrono>
 #include <cmath>
+
+#include "common/hash.h"
 
 namespace soma {
 
@@ -143,6 +146,7 @@ ScheduleRequest::ToJson() const
     json.Set("cost_m", Json::Number(cost_m));
     if (chains > 0) json.Set("chains", Json::Int(chains));
     if (threads > 0) json.Set("threads", Json::Int(threads));
+    if (deadline_ms > 0) json.Set("deadline_ms", Json::Int(deadline_ms));
     Json arts = Json::Object();
     arts.Set("ir", Json::Bool(artifacts.ir));
     arts.Set("instructions", Json::Bool(artifacts.instructions));
@@ -215,6 +219,12 @@ ScheduleRequest::FromJson(const Json &json, ScheduleRequest *out,
         } else if (key == "threads") {
             if (!CountFromJson(value, key, 0, &out->threads, err))
                 return false;
+        } else if (key == "deadline_ms") {
+            if (!ExpectNumber(value, key, err)) return false;
+            const std::int64_t v = value.AsInt();
+            if (v < 0 || v > 86400000)  // a day, in ms
+                return RangeError(err, key, "in [0, 86400000]");
+            out->deadline_ms = static_cast<int>(v);
         } else if (key == "artifacts") {
             if (!ArtifactsFromJson(value, &out->artifacts, err))
                 return false;
@@ -224,6 +234,21 @@ ScheduleRequest::FromJson(const Json &json, ScheduleRequest *out,
         }
     }
     return true;
+}
+
+Json
+ScheduleRequest::CanonicalJson() const
+{
+    Json json = ToJson();
+    json.Erase("threads");      // never changes results
+    json.Erase("deadline_ms");  // QoS truncation, not identity
+    return json;
+}
+
+std::uint64_t
+ScheduleRequest::Fingerprint() const
+{
+    return Fnv1a64(CanonicalJson().CanonicalDump());
 }
 
 Json
@@ -296,6 +321,8 @@ ScheduleResult::ToJson() const
     Json json = Json::Object();
     json.Set("ok", Json::Bool(ok));
     if (!error.empty()) json.Set("error", Json::Str(error));
+    if (deadline_expired)
+        json.Set("deadline_expired", Json::Bool(true));
     json.Set("model", Json::Str(model));
     json.Set("batch", Json::Int(batch));
     json.Set("hardware", Json::Str(hardware));
@@ -358,6 +385,8 @@ ScheduleResult::FromJson(const Json &json, ScheduleResult *out,
     };
     if (const Json *v = json.Find("ok")) out->ok = v->AsBool();
     out->error = str("error");
+    if (const Json *v = json.Find("deadline_expired"))
+        out->deadline_expired = v->AsBool();
     out->model = str("model");
     if (const Json *v = json.Find("batch"))
         out->batch = static_cast<int>(v->AsInt(1));
@@ -426,6 +455,26 @@ ScheduleResult::FromJson(const Json &json, ScheduleResult *out,
     return true;
 }
 
+namespace {
+
+/** The cooperative-stop wiring shared by both option resolvers: point
+ *  the driver at the request's cancel flag and deadline cutoff. The
+ *  facade pre-resolves deadline_tp at pipeline start; requests built
+ *  outside a pipeline (direct option-resolver callers) anchor here. */
+void
+ApplyStopRequest(const ScheduleRequest &request, SearchDriverOptions *driver)
+{
+    driver->cancel = request.cancel;
+    if (request.deadline_tp.time_since_epoch().count() != 0) {
+        driver->deadline = request.deadline_tp;
+    } else if (request.deadline_ms > 0) {
+        driver->deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(request.deadline_ms);
+    }
+}
+
+}  // namespace
+
 SomaOptions
 SomaOptionsForRequest(const ScheduleRequest &request)
 {
@@ -445,6 +494,7 @@ SomaOptionsForRequest(const ScheduleRequest &request)
     opts.cost_m = request.cost_m;
     if (request.chains > 0) opts.driver.chains = request.chains;
     if (request.threads > 0) opts.driver.threads = request.threads;
+    ApplyStopRequest(request, &opts.driver);
     return opts;
 }
 
@@ -467,6 +517,7 @@ CoccoOptionsForRequest(const ScheduleRequest &request)
     opts.cost_m = request.cost_m;
     if (request.chains > 0) opts.driver.chains = request.chains;
     if (request.threads > 0) opts.driver.threads = request.threads;
+    ApplyStopRequest(request, &opts.driver);
     return opts;
 }
 

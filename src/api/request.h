@@ -19,6 +19,8 @@
 #ifndef SOMA_API_REQUEST_H
 #define SOMA_API_REQUEST_H
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -87,16 +89,63 @@ struct ScheduleRequest {
     int chains = 0;
     int threads = 0;
 
+    /**
+     * Wall-clock budget for the whole request in milliseconds (0 =
+     * none). The search polls it iteration-granularly and stops early
+     * with its best-so-far once expired; the result then carries
+     * deadline_expired = true (ok if a valid scheme was found by then,
+     * an error otherwise). A QoS knob, not identity: requests that
+     * finish within their deadline are bit-identical to unconstrained
+     * runs, so Fingerprint() excludes it (like `threads`).
+     */
+    int deadline_ms = 0;
+
     ArtifactRequest artifacts;
 
     /** Fired from the executing thread at phase boundaries. Not
      *  serialized. */
     std::function<void(const ProgressEvent &)> on_progress;
 
+    /**
+     * Cooperative cancel flag polled inside the search (every
+     * SaOptions::cancel_check_interval iterations) and at phase
+     * boundaries. Synchronous callers may point it at their own atomic
+     * to cancel a running Schedule() from another thread; Submit()
+     * overrides it with the job's Cancel() flag. Not serialized.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /**
+     * The resolved deadline_ms cutoff. The facade anchors it at
+     * pipeline start, so "expired" means the same instant to the
+     * search loops and to the result's deadline_expired flag. Leave
+     * default: set internally (a caller-set value is honored, for
+     * tests). Not serialized.
+     */
+    std::chrono::steady_clock::time_point deadline_tp{};
+
     Json ToJson() const;
     /** Strict: unknown keys and type mismatches are errors. */
     static bool FromJson(const Json &json, ScheduleRequest *out,
                          std::string *err);
+
+    /**
+     * The request's identity as JSON: ToJson() minus the fields that
+     * never change result bytes (`threads`, `deadline_ms`). Dump it
+     * with Json::CanonicalDump() for the canonical request text.
+     */
+    Json CanonicalJson() const;
+
+    /**
+     * Stable 64-bit identity: Fnv1a64 over CanonicalDump() of
+     * CanonicalJson(). Two requests fingerprint equal iff every
+     * result-affecting field matches, regardless of JSON key order or
+     * which process computed it — the key of the service layer's
+     * result cache and of `somac fingerprint`. Inline-graph requests
+     * hash their graph *name* only (the graph itself has no JSON
+     * form), so the service layer never caches them.
+     */
+    std::uint64_t Fingerprint() const;
 };
 
 /** Flattened search counters + wall-clock timings of one request. */
@@ -120,6 +169,11 @@ struct SearchStatsSummary {
 struct ScheduleResult {
     bool ok = false;
     std::string error;
+    /** True when ScheduleRequest::deadline_ms expired during the run:
+     *  the search was truncated and `report` (if valid) is the
+     *  best-so-far, not the full-budget result. Distinct from
+     *  cancellation (error == "cancelled"). */
+    bool deadline_expired = false;
 
     // Request echo.
     std::string model;

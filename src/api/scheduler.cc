@@ -21,12 +21,17 @@ SecondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** Copy the request-identity fields every result carries. */
+/** Copy the request-identity fields every result carries. A request
+ *  that names a model echoes that name even when a pre-built graph is
+ *  attached (the service layer's graph cache injects one), so cached
+ *  and cold results serialize identically; only pure inline-graph
+ *  requests echo the graph's own identity. */
 void
 EchoRequest(const ScheduleRequest &request, ScheduleResult *result)
 {
-    result->model = request.graph ? request.graph->name() : request.model;
-    result->batch = request.graph ? request.graph->batch() : request.batch;
+    const bool inline_only = request.graph && request.model.empty();
+    result->model = inline_only ? request.graph->name() : request.model;
+    result->batch = inline_only ? request.graph->batch() : request.batch;
     result->hardware = request.hardware;
     result->scheduler = request.scheduler;
     result->profile = request.profile;
@@ -58,7 +63,10 @@ Scheduler::~Scheduler()
 ScheduleResult
 Scheduler::Schedule(const ScheduleRequest &request)
 {
-    return RunPipeline(request, /*id=*/0, /*cancelled=*/nullptr);
+    // A caller-provided cancel flag serves both the phase-granular
+    // checks (the `cancelled` parameter) and, via the request itself,
+    // the iteration-granular checks inside the search.
+    return RunPipeline(request, /*id=*/0, request.cancel);
 }
 
 void
@@ -167,6 +175,9 @@ Scheduler::WorkerLoop()
         } else {
             ScheduleRequest req = job->request;
             if (req.threads <= 0) req.threads = granted_threads;
+            // The job's flag is the one Cancel() sets; it reaches the
+            // search loops through SomaOptionsForRequest.
+            req.cancel = &job->cancelled;
             result = RunPipeline(req, job->id, &job->cancelled);
         }
 
@@ -182,10 +193,19 @@ Scheduler::WorkerLoop()
 }
 
 ScheduleResult
-Scheduler::RunPipeline(const ScheduleRequest &request, JobId id,
+Scheduler::RunPipeline(const ScheduleRequest &original, JobId id,
                        const std::atomic<bool> *cancelled)
 {
     const auto t_start = Clock::now();
+    // One deadline anchor for the whole request: the search loops and
+    // the deadline_expired flag below compare against the same instant,
+    // so a search that ran its full budget is never mislabeled expired.
+    ScheduleRequest request = original;
+    if (request.deadline_ms > 0 &&
+        request.deadline_tp.time_since_epoch().count() == 0) {
+        request.deadline_tp =
+            t_start + std::chrono::milliseconds(request.deadline_ms);
+    }
     ScheduleResult result;
     EchoRequest(request, &result);
 
@@ -251,15 +271,25 @@ Scheduler::RunPipeline(const ScheduleRequest &request, JobId id,
     result.stats.improved = run.stats.improved;
     result.stats.outer_iterations = run.outer_iterations;
 
+    // Deadline bookkeeping: if the request's cutoff has passed, the
+    // search loops were truncated (they poll the same time point), so
+    // the result is best-so-far, not full-budget.
+    result.deadline_expired =
+        request.deadline_ms > 0 && Clock::now() >= request.deadline_tp;
+
+    if (is_cancelled()) return fail("cancelled");
+
     if (!result.report.valid) {
+        if (result.deadline_expired)
+            return fail("deadline expired (" +
+                        std::to_string(request.deadline_ms) +
+                        " ms) before a valid schedule was found");
         std::string why = "no valid schedule found";
         if (!result.report.why_invalid.empty())
             why += ": " + result.report.why_invalid;
         return fail(std::move(why));
     }
     result.ok = true;
-
-    if (is_cancelled()) return fail("cancelled");
 
     // ---- artifacts: lower / render only what was asked for.
     progress("artifacts");

@@ -14,9 +14,14 @@
  * thread-count independence; the facade adds per-job isolation (each
  * job's search state lives entirely inside its pipeline call).
  *
- * Cancellation is cooperative with phase granularity: Cancel() marks
- * the job, and the pipeline gives up at the next phase boundary
- * (queued jobs never start). A running search phase completes first.
+ * Cancellation is cooperative and iteration-granular: Cancel() marks
+ * the job, the annealing loops poll the flag every
+ * SaOptions::cancel_check_interval iterations (RunSaWindow), and the
+ * pipeline gives up at the next phase boundary (queued jobs never
+ * start). ScheduleRequest::deadline_ms rides the same mechanism: the
+ * search stops once the wall-clock budget is spent and the result is
+ * marked deadline_expired (ok with the best-so-far scheme if one was
+ * found, an error otherwise).
  *
  * The legacy free functions (RunSoma, RunCocco, GenerateIr, ...) remain
  * as thin compatibility wrappers — the facade is built from them.
@@ -76,8 +81,9 @@ class Scheduler {
     JobId Submit(ScheduleRequest request);
 
     /** Cooperative cancel. True if the job exists and was not yet
-     *  finished (the result may still complete if the pipeline passes
-     *  no further phase boundary). */
+     *  finished. A running search observes the flag within
+     *  SaOptions::cancel_check_interval iterations and the job
+     *  completes with error "cancelled". */
     bool Cancel(JobId id);
 
     /** True once the job's result is available. False for unknown

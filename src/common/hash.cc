@@ -1,0 +1,32 @@
+#include "common/hash.h"
+
+#include <cstdio>
+
+namespace soma {
+
+std::string
+HexU64(std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+bool
+ParseHexU64(const std::string &text, std::uint64_t *out)
+{
+    if (text.size() != 16) return false;
+    std::uint64_t v = 0;
+    for (char c : text) {
+        v <<= 4;
+        if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else return false;
+    }
+    *out = v;
+    return true;
+}
+
+}  // namespace soma

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small non-cryptographic hashing helpers. The service layer keys its
+ * caches on Fnv1a64 over canonical request JSON; FNV-1a is stable
+ * across platforms and process restarts (unlike std::hash), which the
+ * on-disk result cache depends on.
+ */
+#ifndef SOMA_COMMON_HASH_H
+#define SOMA_COMMON_HASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace soma {
+
+/** 64-bit FNV-1a over @p bytes. */
+inline std::uint64_t
+Fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;  // FNV prime
+    }
+    return h;
+}
+
+/** Fixed-width lower-case hex spelling (the cache-file / CSV form). */
+std::string HexU64(std::uint64_t value);
+
+/** Inverse of HexU64; false unless @p text is exactly 16 hex digits. */
+bool ParseHexU64(const std::string &text, std::uint64_t *out);
+
+}  // namespace soma
+
+#endif  // SOMA_COMMON_HASH_H

@@ -1,5 +1,6 @@
 #include "common/json.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -148,6 +149,18 @@ Json::Set(const std::string &key, Json v)
     return *this;
 }
 
+bool
+Json::Erase(const std::string &key)
+{
+    for (auto it = obj_.begin(); it != obj_.end(); ++it) {
+        if (it->first == key) {
+            obj_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 namespace {
 
 void
@@ -216,7 +229,7 @@ Indent(std::string *out, int indent, int depth)
 }  // namespace
 
 void
-Json::DumpTo(std::string *out, int indent, int depth) const
+Json::DumpTo(std::string *out, int indent, int depth, bool sorted) const
 {
     switch (type_) {
       case Type::kNull: *out += "null"; break;
@@ -232,7 +245,7 @@ Json::DumpTo(std::string *out, int indent, int depth) const
         for (std::size_t i = 0; i < arr_.size(); ++i) {
             if (i) out->push_back(',');
             if (indent >= 0) Indent(out, indent, depth + 1);
-            arr_[i].DumpTo(out, indent, depth + 1);
+            arr_[i].DumpTo(out, indent, depth + 1, sorted);
         }
         if (indent >= 0) Indent(out, indent, depth);
         out->push_back(']');
@@ -243,14 +256,23 @@ Json::DumpTo(std::string *out, int indent, int depth) const
             *out += "{}";
             break;
         }
+        std::vector<const std::pair<std::string, Json> *> members;
+        members.reserve(obj_.size());
+        for (const auto &kv : obj_) members.push_back(&kv);
+        if (sorted) {
+            std::sort(members.begin(), members.end(),
+                      [](const auto *a, const auto *b) {
+                          return a->first < b->first;
+                      });
+        }
         out->push_back('{');
-        for (std::size_t i = 0; i < obj_.size(); ++i) {
+        for (std::size_t i = 0; i < members.size(); ++i) {
             if (i) out->push_back(',');
             if (indent >= 0) Indent(out, indent, depth + 1);
-            EscapeTo(obj_[i].first, out);
+            EscapeTo(members[i]->first, out);
             out->push_back(':');
             if (indent >= 0) out->push_back(' ');
-            obj_[i].second.DumpTo(out, indent, depth + 1);
+            members[i]->second.DumpTo(out, indent, depth + 1, sorted);
         }
         if (indent >= 0) Indent(out, indent, depth);
         out->push_back('}');
@@ -264,6 +286,14 @@ Json::Dump(int indent) const
 {
     std::string out;
     DumpTo(&out, indent, 0);
+    return out;
+}
+
+std::string
+Json::CanonicalDump() const
+{
+    std::string out;
+    DumpTo(&out, /*indent=*/-1, 0, /*sorted=*/true);
     return out;
 }
 

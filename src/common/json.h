@@ -69,6 +69,8 @@ class Json {
     /** Sets (or replaces) a member; converts a null value into an
      *  object. Returns *this for chaining. */
     Json &Set(const std::string &key, Json v);
+    /** Removes a member; true if it existed. */
+    bool Erase(const std::string &key);
     const std::vector<std::pair<std::string, Json>> &items() const
     {
         return obj_;
@@ -79,6 +81,15 @@ class Json {
     std::string Dump(int indent = -1) const;
 
     /**
+     * Canonical serialization: compact, with object members emitted in
+     * bytewise-sorted key order at every level (duplicate-free by
+     * construction — Set replaces). Two Json values that differ only in
+     * member insertion order dump to identical canonical text, which is
+     * what request fingerprinting (service layer) hashes.
+     */
+    std::string CanonicalDump() const;
+
+    /**
      * Parse @p text into @p out. On failure returns false and sets
      * @p err to a message with the byte offset. Trailing garbage after
      * the top-level value is an error.
@@ -86,7 +97,8 @@ class Json {
     static bool Parse(const std::string &text, Json *out, std::string *err);
 
   private:
-    void DumpTo(std::string *out, int indent, int depth) const;
+    void DumpTo(std::string *out, int indent, int depth,
+                bool sorted = false) const;
 
     Type type_ = Type::kNull;
     bool bool_ = false;

@@ -31,6 +31,9 @@ RunBufferAllocatedSearch(const Graph &graph, const HardwareConfig &hw,
     int no_improve = 0;
 
     for (int iter = 0; iter < opts.max_iterations; ++iter) {
+        // Cooperative stop between outer iterations; the stages below
+        // additionally stop iteration-granularly via the same flag.
+        if (DriverStopRequested(lfa_opts.driver)) break;
         Bytes stage_budget;
         if (iter == 0) {
             stage_budget = hw.gbuf_bytes;

@@ -41,7 +41,26 @@ struct SearchDriverOptions {
     /** Temperature windows per run; chains exchange their best states
      *  at window boundaries (no exchange happens with 1 window). */
     int exchange_rounds = 4;
+    /**
+     * Cooperative stop, shared by every stage of a request: the driver
+     * copies both fields into the SaOptions of each annealing window
+     * (RunSaWindow polls them every cancel_check_interval iterations)
+     * and skips remaining exchange rounds once either fires. The facade
+     * points `cancel` at the job's Cancel() flag and derives `deadline`
+     * from ScheduleRequest::deadline_ms. Defaults mean "never stop
+     * early" and leave results bit-identical to unconstrained runs.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    std::chrono::steady_clock::time_point deadline{};
 };
+
+/** True once @p opts's cancel flag is set or its deadline has passed.
+ *  The between-stage twin of SaStopRequested (sa.h). */
+inline bool
+DriverStopRequested(const SearchDriverOptions &opts)
+{
+    return StopRequested(opts.cancel, opts.deadline);
+}
 
 /** Effective worker count for @p opts (resolves threads == 0). */
 int ResolveDriverThreads(const SearchDriverOptions &opts);
@@ -105,6 +124,13 @@ RunSearchDriver(const State &initial, double initial_cost,
     const int chains = std::max(1, opts.chains);
     const int threads = std::min(ResolveDriverThreads(opts), chains);
 
+    // Windows inherit the driver-level stop request (unless the stage
+    // already wired its own flag into the SaOptions directly).
+    SaOptions sa_eff = sa;
+    if (!sa_eff.cancel) sa_eff.cancel = opts.cancel;
+    if (sa_eff.deadline.time_since_epoch().count() == 0)
+        sa_eff.deadline = opts.deadline;
+
     struct Chain {
         State current, best;
         double current_cost, best_cost;
@@ -139,10 +165,10 @@ RunSearchDriver(const State &initial, double initial_cost,
                 ch.env.on_adopt(ch.current, ch.current_cost);
             RunSaWindow<State>(&ch.current, &ch.current_cost, &ch.best,
                                &ch.best_cost, ch.env.mutate, ch.env.evaluate,
-                               sa, ch.rng, begin, end, &ch.stats,
+                               sa_eff, ch.rng, begin, end, &ch.stats,
                                ch.env.on_accept);
         });
-        if (r + 1 >= rounds) break;
+        if (r + 1 >= rounds || SaStopRequested(sa_eff)) break;
         // Deterministic exchange: migrate the global best-so-far into
         // every chain whose walk has fallen behind it.
         int w = 0;

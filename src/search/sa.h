@@ -14,6 +14,8 @@
 #ifndef SOMA_SEARCH_SA_H
 #define SOMA_SEARCH_SA_H
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <limits>
 #include <utility>
@@ -30,7 +32,39 @@ struct SaOptions {
     /** Fraction of trailing iterations that accept improvements only
      *  (the paper's post-deadline greedy phase). */
     double greedy_tail = 0.1;
+    /**
+     * Cooperative stop: when set, RunSaWindow polls the flag (and the
+     * deadline, if any) every cancel_check_interval iterations and
+     * returns early once either fires. The walk state stays consistent
+     * — current/best reflect every iteration actually annealed — so a
+     * cancelled search still yields its best-so-far. A null flag with
+     * no deadline (the default) skips all checks; results are then
+     * identical to pre-cancellation builds.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    /** Wall-clock cutoff; time_point{} (the default) means none. */
+    std::chrono::steady_clock::time_point deadline{};
+    int cancel_check_interval = 64;
 };
+
+/** The shared cooperative-stop predicate: a set flag or a passed
+ *  deadline (time_point{} means none). Also wrapped by
+ *  DriverStopRequested (driver.h) for between-stage checks. */
+inline bool
+StopRequested(const std::atomic<bool> *cancel,
+              std::chrono::steady_clock::time_point deadline)
+{
+    if (cancel && cancel->load(std::memory_order_relaxed)) return true;
+    return deadline.time_since_epoch().count() != 0 &&
+           std::chrono::steady_clock::now() >= deadline;
+}
+
+/** True once @p opts's cancel flag is set or its deadline has passed. */
+inline bool
+SaStopRequested(const SaOptions &opts)
+{
+    return StopRequested(opts.cancel, opts.deadline);
+}
 
 /** Temperature at iteration @p n of @p total. */
 double SaTemperature(const SaOptions &opts, int n);
@@ -75,7 +109,9 @@ void AccumulateSaStats(SaStats *into, const SaStats &add);
  * itself invalid). @p on_accept, when set, fires right after a candidate
  * is accepted — the hook incremental evaluation contexts use to promote
  * the candidate's scratch state to the new base (EvalContext::Commit).
- * Counters are accumulated into @p stats.
+ * Counters are accumulated into @p stats. When opts.cancel / deadline
+ * request a stop, the window returns early with only the iterations
+ * actually annealed accounted for.
  */
 template <typename State>
 void
@@ -90,8 +126,19 @@ RunSaWindow(State *current, double *current_cost, State *best,
     const int greedy_from =
         opts.iterations - static_cast<int>(opts.iterations *
                                            opts.greedy_tail);
+    const bool may_stop =
+        opts.cancel != nullptr ||
+        opts.deadline.time_since_epoch().count() != 0;
+    const int check_every = opts.cancel_check_interval > 0
+                                ? opts.cancel_check_interval
+                                : 64;
+    int until_check = check_every;
     State candidate;  // hoisted: reuses its capacity across iterations
     for (int n = begin; n < end; ++n) {
+        if (may_stop && --until_check <= 0) {
+            until_check = check_every;
+            if (SaStopRequested(opts)) return;
+        }
         ++stats->iterations;
         if (!mutate(*current, &candidate, rng)) {
             ++stats->no_move;

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * GraphCache: a thread-safe LRU of built workload graphs keyed by
+ * (model name, batch), so a DSE sweep over one workload parses the
+ * model once instead of once per request. Graphs are shared as
+ * `shared_ptr<const Graph>`; registry builders are deterministic, so a
+ * cached graph is content-identical to a freshly built one and results
+ * computed against it are bit-identical.
+ */
+#ifndef SOMA_SERVICE_GRAPH_CACHE_H
+#define SOMA_SERVICE_GRAPH_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/registry.h"
+#include "workload/graph.h"
+
+namespace soma {
+
+class GraphCache {
+  public:
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;  ///< each miss is one model build
+        std::uint64_t evictions = 0;
+    };
+
+    explicit GraphCache(std::size_t capacity = 64);
+
+    /**
+     * The graph for (@p model, @p batch), building it through
+     * @p models on a miss. Returns nullptr with @p err set when the
+     * registry does not know the model. Builds run under the cache
+     * lock, so concurrent requests for one workload build it once.
+     */
+    std::shared_ptr<const Graph> Get(const std::string &model, int batch,
+                                     const ModelRegistry &models,
+                                     std::string *err);
+
+    std::size_t size() const;
+    Stats stats() const;
+    void Clear();
+
+  private:
+    struct Entry {
+        std::string key;
+        std::shared_ptr<const Graph> graph;
+    };
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    Stats stats_;
+};
+
+}  // namespace soma
+
+#endif  // SOMA_SERVICE_GRAPH_CACHE_H

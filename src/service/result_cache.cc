@@ -1,0 +1,130 @@
+#include "service/result_cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace soma {
+
+ResultCache::ResultCache(Options options) : options_(std::move(options))
+{
+    if (options_.capacity < 1) options_.capacity = 1;
+}
+
+std::string
+ResultCache::PathFor(std::uint64_t fingerprint) const
+{
+    if (options_.persist_dir.empty()) return std::string();
+    return options_.persist_dir + "/" + HexU64(fingerprint) + ".json";
+}
+
+bool
+ResultCache::LoadFromDisk(std::uint64_t fingerprint, std::string *text)
+{
+    if (options_.persist_dir.empty()) return false;
+    std::ifstream in(PathFor(fingerprint), std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (!in.good() && !in.eof()) return false;
+    *text = ss.str();
+    return !text->empty();
+}
+
+void
+ResultCache::InsertLocked(std::uint64_t fingerprint,
+                          const std::string &text)
+{
+    auto it = index_.find(fingerprint);
+    if (it != index_.end()) {
+        it->second->text = text;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{fingerprint, text});
+    index_[fingerprint] = lru_.begin();
+    ++stats_.insertions;
+    while (lru_.size() > options_.capacity) {
+        index_.erase(lru_.back().fingerprint);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+bool
+ResultCache::Get(std::uint64_t fingerprint, std::string *result_json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(fingerprint);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        *result_json = it->second->text;
+        ++stats_.hits;
+        return true;
+    }
+    std::string text;
+    if (LoadFromDisk(fingerprint, &text)) {
+        InsertLocked(fingerprint, text);
+        *result_json = std::move(text);
+        ++stats_.hits;
+        ++stats_.disk_hits;
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+void
+ResultCache::Put(std::uint64_t fingerprint, const std::string &result_json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    InsertLocked(fingerprint, result_json);
+    if (options_.persist_dir.empty()) return;
+    if (!dir_ready_) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.persist_dir, ec);
+        if (ec) {
+            SOMA_WARN << "result cache: cannot create "
+                      << options_.persist_dir << ": " << ec.message()
+                      << " (persistence disabled)";
+            options_.persist_dir.clear();
+            return;
+        }
+        dir_ready_ = true;
+    }
+    const std::string path = PathFor(fingerprint);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!(out << result_json)) {
+        SOMA_WARN << "result cache: cannot write " << path;
+        return;
+    }
+    ++stats_.disk_writes;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ResultCache::Clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    stats_ = Stats{};
+}
+
+}  // namespace soma

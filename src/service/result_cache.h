@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ResultCache: a thread-safe in-memory LRU of serialized ScheduleResult
+ * JSON keyed by request fingerprint, with optional write-through
+ * persistence (one JSON file per fingerprint under persist_dir).
+ *
+ * The cache stores the exact result *text* — the same bytes a cold run
+ * serializes — so a hit reproduces the cold result bit-for-bit without
+ * trusting any re-serialization step. Persistence is write-through:
+ * every Put also lands on disk, so entries evicted from memory (and
+ * entries from earlier processes) come back as disk hits. Disk usage is
+ * unbounded; prune the directory externally if that matters.
+ */
+#ifndef SOMA_SERVICE_RESULT_CACHE_H
+#define SOMA_SERVICE_RESULT_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace soma {
+
+class ResultCache {
+  public:
+    struct Options {
+        /** Max in-memory entries; at least 1 is enforced. */
+        std::size_t capacity = 256;
+        /** When non-empty: write-through persistence directory (created
+         *  on first use; one `<fingerprint-hex>.json` per entry). */
+        std::string persist_dir;
+    };
+
+    /** Counters since construction (disk_hits are also counted as
+     *  hits; misses count lookups that found nothing anywhere). */
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t disk_hits = 0;
+        std::uint64_t disk_writes = 0;
+    };
+
+    ResultCache() : ResultCache(Options{}) {}
+    explicit ResultCache(Options options);
+
+    /** Looks up @p fingerprint, falling back to the persistence dir on
+     *  a memory miss (a disk hit repopulates memory). True on hit with
+     *  the stored text in @p result_json. */
+    bool Get(std::uint64_t fingerprint, std::string *result_json);
+
+    /** Inserts (or refreshes) an entry, evicting the LRU tail beyond
+     *  capacity, and writes it through to the persistence dir. */
+    void Put(std::uint64_t fingerprint, const std::string &result_json);
+
+    std::size_t size() const;
+    Stats stats() const;
+    void Clear();  ///< drops memory entries (and stats); disk stays
+
+    /** The file an entry persists to (empty when persistence is off). */
+    std::string PathFor(std::uint64_t fingerprint) const;
+
+  private:
+    struct Entry {
+        std::uint64_t fingerprint;
+        std::string text;
+    };
+
+    bool LoadFromDisk(std::uint64_t fingerprint, std::string *text);
+    void InsertLocked(std::uint64_t fingerprint, const std::string &text);
+
+    Options options_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+    Stats stats_;
+    bool dir_ready_ = false;  ///< persist_dir has been created
+};
+
+}  // namespace soma
+
+#endif  // SOMA_SERVICE_RESULT_CACHE_H

@@ -1,0 +1,236 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace soma {
+
+namespace {
+
+/** Reconstruct a result from cached text. False only on corrupt text
+ *  (never for texts this process serialized). */
+bool
+TryDeserialize(const std::string &text, ScheduleResult *out,
+               std::string *err)
+{
+    Json json;
+    if (!Json::Parse(text, &json, err)) return false;
+    return ScheduleResult::FromJson(json, out, err);
+}
+
+/** An aborted-while-waiting result with the usual request echo. */
+ScheduleResult
+AbortedResult(const ScheduleRequest &request, std::string error,
+              bool deadline_expired)
+{
+    ScheduleResult result;
+    result.error = std::move(error);
+    result.deadline_expired = deadline_expired;
+    result.model = request.model;
+    result.batch = request.batch;
+    result.hardware = request.hardware;
+    result.scheduler = request.scheduler;
+    result.profile = request.profile;
+    result.seed = request.seed;
+    return result;
+}
+
+}  // namespace
+
+Json
+ServiceStats::ToJson() const
+{
+    Json json = Json::Object();
+    json.Set("requests", Json::U64(requests));
+    json.Set("coalesced", Json::U64(coalesced));
+    json.Set("searches", Json::U64(searches));
+    json.Set("uncacheable", Json::U64(uncacheable));
+    json.Set("errors", Json::U64(errors));
+    Json rc = Json::Object();
+    rc.Set("hits", Json::U64(result_cache.hits));
+    rc.Set("misses", Json::U64(result_cache.misses));
+    rc.Set("evictions", Json::U64(result_cache.evictions));
+    rc.Set("insertions", Json::U64(result_cache.insertions));
+    rc.Set("disk_hits", Json::U64(result_cache.disk_hits));
+    rc.Set("disk_writes", Json::U64(result_cache.disk_writes));
+    json.Set("result_cache", std::move(rc));
+    Json gc = Json::Object();
+    gc.Set("hits", Json::U64(graph_cache.hits));
+    gc.Set("misses", Json::U64(graph_cache.misses));
+    gc.Set("evictions", Json::U64(graph_cache.evictions));
+    json.Set("graph_cache", std::move(gc));
+    return json;
+}
+
+SchedulerService::SchedulerService(const ServiceOptions &options)
+    : scheduler_(options.scheduler),
+      result_cache_(ResultCache::Options{options.result_cache_capacity,
+                                         options.cache_dir}),
+      graph_cache_(options.graph_cache_capacity)
+{
+}
+
+ScheduleResult
+SchedulerService::Schedule(const ScheduleRequest &request,
+                           std::string *result_json)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.requests;
+    }
+
+    // Inline graphs have no faithful fingerprint (only their name
+    // serializes); run them straight through the facade.
+    if (request.graph) {
+        ScheduleResult result = scheduler_.Schedule(request);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.uncacheable;
+            ++stats_.searches;
+            if (!result.ok) ++stats_.errors;
+        }
+        if (result_json) *result_json = result.ToJson().Dump(2);
+        return result;
+    }
+
+    const std::uint64_t fingerprint = request.Fingerprint();
+    // Even a coalesced waiter honors its own QoS: the deadline anchors
+    // here, and the wait loop below polls it plus the cancel flag.
+    const auto wait_deadline =
+        request.deadline_ms > 0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(request.deadline_ms)
+            : std::chrono::steady_clock::time_point{};
+
+    auto serve_cached = [&](std::string text,
+                            ScheduleResult *out) -> bool {
+        std::string err;
+        if (!TryDeserialize(text, out, &err)) {
+            SOMA_WARN << "result cache: corrupt entry "
+                      << HexU64(fingerprint) << " (" << err
+                      << "); recomputing";
+            return false;
+        }
+        if (result_json) *result_json = std::move(text);
+        return true;
+    };
+
+    // Fast path outside the service lock: the cache has its own mutex
+    // and a lookup may touch disk, so warm traffic never serializes
+    // behind mutex_.
+    std::string text;
+    ScheduleResult cached;
+    if (result_cache_.Get(fingerprint, &text) &&
+        serve_cached(std::move(text), &cached))
+        return cached;
+
+    std::shared_ptr<Inflight> flight;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto it = inflight_.find(fingerprint);
+        if (it == inflight_.end()) {
+            // A leader may have published between the unlocked lookup
+            // and here; recheck under the registration lock (a memory
+            // hit in that race — no disk read for absent entries
+            // beyond one failed open).
+            if (result_cache_.Get(fingerprint, &text)) {
+                lock.unlock();
+                if (serve_cached(std::move(text), &cached)) return cached;
+                lock.lock();
+                it = inflight_.find(fingerprint);  // re-race, rare
+            }
+        }
+        if (it == inflight_.end()) {
+            flight = std::make_shared<Inflight>();
+            inflight_[fingerprint] = flight;
+        } else {
+            // Coalesce: pend on the leader, but keep honoring this
+            // request's own cancel flag and deadline while waiting.
+            flight = it->second;
+            ++stats_.coalesced;
+            for (;;) {
+                if (flight->done) break;
+                if (request.cancel &&
+                    request.cancel->load(std::memory_order_relaxed)) {
+                    return AbortedResult(request, "cancelled", false);
+                }
+                if (StopRequested(nullptr, wait_deadline)) {
+                    return AbortedResult(
+                        request,
+                        "deadline expired (" +
+                            std::to_string(request.deadline_ms) +
+                            " ms) while waiting for the coalesced "
+                            "result",
+                        /*deadline_expired=*/true);
+                }
+                flight->cv.wait_for(lock,
+                                    std::chrono::milliseconds(10));
+            }
+            text = flight->text;
+            lock.unlock();
+            ScheduleResult result;
+            std::string err;
+            if (!TryDeserialize(text, &result, &err)) {
+                result = ScheduleResult();
+                result.error = "coalesced result corrupt: " + err;
+            }
+            if (result_json) *result_json = std::move(text);
+            return result;
+        }
+    }
+    return RunAndPublish(request, fingerprint, flight, result_json);
+}
+
+ScheduleResult
+SchedulerService::RunAndPublish(const ScheduleRequest &request,
+                                std::uint64_t fingerprint,
+                                const std::shared_ptr<Inflight> &flight,
+                                std::string *result_json)
+{
+    ScheduleRequest req = request;
+    std::string err;
+    std::shared_ptr<const Graph> graph =
+        graph_cache_.Get(req.model, req.batch, scheduler_.models(), &err);
+    // Unknown models fall through graph-less so the facade produces its
+    // canonical error (with the registered-name candidates).
+    if (graph) req.graph = std::move(graph);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.searches;
+    }
+    ScheduleResult result = scheduler_.Schedule(req);
+    std::string text = result.ToJson().Dump(2);
+
+    // The determinism contract: only results every future run would
+    // reproduce byte-for-byte are cached. Errors may heal (registry
+    // additions) and deadline-truncated results depend on wall-clock.
+    if (result.ok && !result.deadline_expired)
+        result_cache_.Put(fingerprint, text);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!result.ok) ++stats_.errors;
+        flight->text = text;
+        flight->done = true;
+        inflight_.erase(fingerprint);
+    }
+    flight->cv.notify_all();
+    if (result_json) *result_json = std::move(text);
+    return result;  // the leader keeps the in-process payload
+}
+
+ServiceStats
+SchedulerService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceStats out = stats_;
+    out.result_cache = result_cache_.stats();
+    out.graph_cache = graph_cache_.stats();
+    return out;
+}
+
+}  // namespace soma

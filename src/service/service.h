@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SchedulerService — the caching, coalescing serving layer wrapped
+ * around soma::Scheduler for repeated traffic (DSE sweeps, a fixed
+ * model zoo served many times). Three mechanisms stack on the facade:
+ *
+ *  - Result cache: requests are pure functions of their
+ *    result-affecting fields, so the service memoizes serialized
+ *    results by ScheduleRequest::Fingerprint() in an LRU (optionally
+ *    persisted to disk, one JSON file per fingerprint). A hit returns
+ *    the exact bytes a cold run produced — the cache-determinism
+ *    contract `cached result == recomputed result, byte for byte`.
+ *  - In-flight coalescing: N concurrent Schedule() calls with one
+ *    fingerprint run one search; the leader fans its serialized result
+ *    out to every waiting sibling. Waiters keep honoring their own
+ *    QoS: a sibling whose cancel flag trips or whose deadline_ms
+ *    passes while pending gives up with the matching status instead
+ *    of blocking on the leader.
+ *  - Graph cache: workloads are cached by (model, batch), so a sweep
+ *    over one model parses it once instead of once per request.
+ *
+ * What is NOT cached: inline-graph requests (their fingerprint only
+ * covers the graph's name), failed results (errors are not pure — a
+ * registry entry may be added later), and deadline-truncated results
+ * (they depend on wall-clock, violating the determinism contract).
+ *
+ * Results served from the cache (and coalesced siblings) are
+ * deserialized from the stored text: every serialized field matches
+ * the cold run bit-for-bit, but the in-process payload
+ * (graph/encodings) stays empty and on_progress does not fire.
+ */
+#ifndef SOMA_SERVICE_SERVICE_H
+#define SOMA_SERVICE_SERVICE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/scheduler.h"
+#include "service/graph_cache.h"
+#include "service/result_cache.h"
+
+namespace soma {
+
+struct ServiceOptions {
+    /** Result-cache sizing/persistence. An empty cache_dir keeps the
+     *  cache purely in-memory. */
+    std::size_t result_cache_capacity = 256;
+    std::string cache_dir;
+    std::size_t graph_cache_capacity = 64;
+    /** Options for the wrapped facade (worker pool, driver threads). */
+    Scheduler::Options scheduler;
+};
+
+/** Service-level counters plus the embedded cache stats. */
+struct ServiceStats {
+    std::uint64_t requests = 0;     ///< Schedule() calls
+    std::uint64_t coalesced = 0;    ///< joined an in-flight sibling
+    std::uint64_t searches = 0;     ///< pipelines actually executed
+    std::uint64_t uncacheable = 0;  ///< inline-graph bypasses
+    std::uint64_t errors = 0;       ///< executed pipelines with ok=false
+    ResultCache::Stats result_cache;
+    GraphCache::Stats graph_cache;
+
+    Json ToJson() const;  ///< the `somac sweep --stats` schema
+};
+
+class SchedulerService {
+  public:
+    SchedulerService() : SchedulerService(ServiceOptions{}) {}
+    explicit SchedulerService(const ServiceOptions &options);
+
+    SchedulerService(const SchedulerService &) = delete;
+    SchedulerService &operator=(const SchedulerService &) = delete;
+
+    /** The wrapped facade — configure registries through it. */
+    Scheduler &scheduler() { return scheduler_; }
+
+    /**
+     * Serve @p request: result cache, then in-flight coalescing, then
+     * one real pipeline run. Thread-safe; concurrent callers with the
+     * same fingerprint share one search. When @p result_json is given
+     * it receives the request's serialized result text — for cached
+     * and coalesced requests these are the cold run's exact bytes.
+     */
+    ScheduleResult Schedule(const ScheduleRequest &request,
+                            std::string *result_json = nullptr);
+
+    ServiceStats stats() const;
+    ResultCache &result_cache() { return result_cache_; }
+    GraphCache &graph_cache() { return graph_cache_; }
+
+  private:
+    struct Inflight {
+        bool done = false;
+        std::string text;
+        std::condition_variable cv;
+    };
+
+    ScheduleResult RunAndPublish(const ScheduleRequest &request,
+                                 std::uint64_t fingerprint,
+                                 const std::shared_ptr<Inflight> &flight,
+                                 std::string *result_json);
+
+    Scheduler scheduler_;
+    ResultCache result_cache_;
+    GraphCache graph_cache_;
+
+    mutable std::mutex mutex_;  ///< stats + inflight map
+    std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> inflight_;
+    ServiceStats stats_;
+};
+
+}  // namespace soma
+
+#endif  // SOMA_SERVICE_SERVICE_H

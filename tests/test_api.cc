@@ -130,6 +130,7 @@ TEST(RequestJson, RoundTripPreservesEveryField)
     request.cost_m = 0.5;
     request.chains = 8;
     request.threads = 3;
+    request.deadline_ms = 2500;
     request.artifacts.ir = true;
     request.artifacts.traces = true;
     request.artifacts.execution_graph_rows = 77;
@@ -150,6 +151,7 @@ TEST(RequestJson, RoundTripPreservesEveryField)
     EXPECT_EQ(back.cost_m, request.cost_m);
     EXPECT_EQ(back.chains, request.chains);
     EXPECT_EQ(back.threads, request.threads);
+    EXPECT_EQ(back.deadline_ms, request.deadline_ms);
     EXPECT_EQ(back.artifacts.ir, request.artifacts.ir);
     EXPECT_EQ(back.artifacts.instructions,
               request.artifacts.instructions);

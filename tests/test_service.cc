@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Service-layer tests: request fingerprinting (canonical JSON, key
+ * order and QoS-field invariance), the ResultCache LRU + persistence,
+ * the GraphCache, in-flight coalescing, the cache-determinism contract
+ * (cached result == recomputed result, byte for byte), deadline
+ * truncation, and the iteration-granular cooperative cancellation that
+ * backs Cancel()/deadline_ms.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "search/sa.h"
+#include "service/service.h"
+#include "workload/graph_builder.h"
+
+namespace soma {
+namespace {
+
+/** Small 4-layer CNN, parameterized on batch like a zoo builder. */
+Graph
+BuildSvcTiny(int batch)
+{
+    GraphBuilder b("svc-tiny", batch);
+    ExtShape image{3, 32, 32};
+    LayerId c1 = b.InputConv("c1", image, 16, 3, 1, 1);
+    LayerId c2 = b.Conv("c2", c1, 16, 3, 1, 1);
+    LayerId c3 = b.Conv("c3", c2, 32, 3, 2, 1);
+    LayerId gap = b.GlobalPool("gap", c3);
+    b.MarkOutput(gap);
+    return b.Take();
+}
+
+/** A service whose registry knows the test workload. */
+std::unique_ptr<SchedulerService>
+MakeService(ServiceOptions options = ServiceOptions{})
+{
+    auto service = std::make_unique<SchedulerService>(options);
+    service->scheduler().models().Register("svc-tiny", BuildSvcTiny);
+    return service;
+}
+
+ScheduleRequest
+TinyRequest(std::uint64_t seed)
+{
+    ScheduleRequest request;
+    request.model = "svc-tiny";
+    request.profile = SearchProfile::kQuick;
+    request.seed = seed;
+    return request;
+}
+
+/** Fresh per-test scratch directory under the gtest temp root. */
+std::string
+FreshDir(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + "soma_" + name;
+    std::filesystem::remove_all(path);
+    return path;
+}
+
+// ----------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, CanonicalDumpSortsKeysRecursively)
+{
+    Json a, b;
+    std::string err;
+    ASSERT_TRUE(Json::Parse("{\"b\": {\"y\": 1, \"x\": 2}, \"a\": [3]}",
+                            &a, &err));
+    ASSERT_TRUE(Json::Parse("{\"a\": [3], \"b\": {\"x\": 2, \"y\": 1}}",
+                            &b, &err));
+    EXPECT_NE(a.Dump(), b.Dump());  // insertion order preserved
+    EXPECT_EQ(a.CanonicalDump(), b.CanonicalDump());
+    EXPECT_EQ(a.CanonicalDump(), "{\"a\":[3],\"b\":{\"x\":2,\"y\":1}}");
+}
+
+TEST(Fingerprint, IgnoresJsonKeyOrder)
+{
+    Json a, b;
+    std::string err;
+    ASSERT_TRUE(Json::Parse(
+        "{\"model\": \"resnet50\", \"seed\": 7, \"batch\": 4}", &a, &err));
+    ASSERT_TRUE(Json::Parse(
+        "{\"batch\": 4, \"model\": \"resnet50\", \"seed\": 7}", &b, &err));
+    ScheduleRequest ra, rb;
+    ASSERT_TRUE(ScheduleRequest::FromJson(a, &ra, &err)) << err;
+    ASSERT_TRUE(ScheduleRequest::FromJson(b, &rb, &err)) << err;
+    EXPECT_EQ(ra.Fingerprint(), rb.Fingerprint());
+}
+
+TEST(Fingerprint, CoversResultAffectingFieldsOnly)
+{
+    ScheduleRequest base = TinyRequest(7);
+    const std::uint64_t fp = base.Fingerprint();
+
+    // QoS knobs do not change identity...
+    ScheduleRequest qos = base;
+    qos.threads = 8;
+    qos.deadline_ms = 5000;
+    EXPECT_EQ(qos.Fingerprint(), fp);
+
+    // ...every result-affecting field does.
+    ScheduleRequest other = base;
+    other.seed = 8;
+    EXPECT_NE(other.Fingerprint(), fp);
+    other = base;
+    other.model = "resnet50";
+    EXPECT_NE(other.Fingerprint(), fp);
+    other = base;
+    other.batch = 2;
+    EXPECT_NE(other.Fingerprint(), fp);
+    other = base;
+    other.chains = 8;
+    EXPECT_NE(other.Fingerprint(), fp);
+    other = base;
+    other.cost_m = 2.0;
+    EXPECT_NE(other.Fingerprint(), fp);
+    other = base;
+    other.artifacts.instructions = true;
+    EXPECT_NE(other.Fingerprint(), fp);
+}
+
+TEST(Fingerprint, HexRoundTrip)
+{
+    const std::uint64_t v = 0x01ab89ef45cd2367ULL;
+    EXPECT_EQ(HexU64(v), "01ab89ef45cd2367");
+    std::uint64_t back = 0;
+    ASSERT_TRUE(ParseHexU64(HexU64(v), &back));
+    EXPECT_EQ(back, v);
+    EXPECT_FALSE(ParseHexU64("xyz", &back));
+    EXPECT_FALSE(ParseHexU64("01ab89ef45cd23", &back));  // too short
+}
+
+// ----------------------------------------------------------- ResultCache
+
+TEST(ResultCache, LruEvictionBoundsMemory)
+{
+    ResultCache::Options options;
+    options.capacity = 2;
+    ResultCache cache(options);
+    cache.Put(1, "one");
+    cache.Put(2, "two");
+    std::string text;
+    ASSERT_TRUE(cache.Get(1, &text));  // 1 becomes MRU
+    cache.Put(3, "three");             // evicts 2 (LRU)
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.Get(1, &text));
+    EXPECT_EQ(text, "one");
+    EXPECT_FALSE(cache.Get(2, &text));
+    EXPECT_TRUE(cache.Get(3, &text));
+    const ResultCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.insertions, 3u);
+    EXPECT_EQ(stats.hits, 3u);
+    EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResultCache, PersistsAcrossInstances)
+{
+    ResultCache::Options options;
+    options.persist_dir = FreshDir("result_cache_persist");
+    {
+        ResultCache cache(options);
+        cache.Put(0xabcdULL, "{\"ok\":true}");
+    }
+    ResultCache fresh(options);
+    EXPECT_EQ(fresh.size(), 0u);
+    std::string text;
+    ASSERT_TRUE(fresh.Get(0xabcdULL, &text));  // disk hit
+    EXPECT_EQ(text, "{\"ok\":true}");
+    EXPECT_EQ(fresh.stats().disk_hits, 1u);
+    EXPECT_EQ(fresh.size(), 1u);  // repopulated into memory
+}
+
+// ------------------------------------------------------------ GraphCache
+
+TEST(GraphCache, BuildsOncePerModelBatch)
+{
+    ModelRegistry models;
+    models.Register("svc-tiny", BuildSvcTiny);
+    GraphCache cache(8);
+    std::string err;
+    auto g1 = cache.Get("svc-tiny", 1, models, &err);
+    ASSERT_TRUE(g1) << err;
+    auto g2 = cache.Get("svc-tiny", 1, models, &err);
+    EXPECT_EQ(g1.get(), g2.get());  // shared, not rebuilt
+    auto g4 = cache.Get("svc-tiny", 4, models, &err);
+    ASSERT_TRUE(g4);
+    EXPECT_NE(g1.get(), g4.get());  // batch is part of the key
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+
+    EXPECT_FALSE(cache.Get("nope", 1, models, &err));
+    EXPECT_NE(err.find("nope"), std::string::npos);
+}
+
+// --------------------------------------------------------------- service
+
+TEST(Service, CacheHitIsBitIdenticalToColdRun)
+{
+    auto service = MakeService();
+    ScheduleRequest request = TinyRequest(3);
+    request.artifacts.instructions = true;
+
+    std::string cold_text, warm_text;
+    ScheduleResult cold = service->Schedule(request, &cold_text);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    ScheduleResult warm = service->Schedule(request, &warm_text);
+    ASSERT_TRUE(warm.ok) << warm.error;
+
+    EXPECT_EQ(cold_text, warm_text);  // the determinism contract
+    // Re-serializing the deserialized result is a fixpoint, so
+    // downstream consumers cannot tell a hit from a cold run.
+    EXPECT_EQ(warm.ToJson().Dump(2), cold_text);
+    EXPECT_EQ(warm.scheme, cold.scheme);
+    EXPECT_EQ(warm.cost, cold.cost);
+    EXPECT_EQ(warm.report.latency, cold.report.latency);
+    EXPECT_EQ(warm.asm_text, cold.asm_text);
+
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.searches, 1u);
+    EXPECT_EQ(stats.result_cache.hits, 1u);
+    // A cold request looks up twice: the unlocked fast path and the
+    // in-flight registration recheck.
+    EXPECT_EQ(stats.result_cache.misses, 2u);
+}
+
+TEST(Service, ResultCacheEvictionTriggersRecompute)
+{
+    ServiceOptions options;
+    options.result_cache_capacity = 1;
+    auto service = MakeService(options);
+    ASSERT_TRUE(service->Schedule(TinyRequest(1)).ok);
+    ASSERT_TRUE(service->Schedule(TinyRequest(2)).ok);  // evicts seed 1
+    ASSERT_TRUE(service->Schedule(TinyRequest(1)).ok);  // recomputed
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.searches, 3u);
+    EXPECT_GE(stats.result_cache.evictions, 1u);
+    EXPECT_EQ(service->result_cache().size(), 1u);
+}
+
+TEST(Service, PersistentCacheSurvivesRestart)
+{
+    ServiceOptions options;
+    options.cache_dir = FreshDir("service_persist");
+
+    std::string cold_text;
+    {
+        auto service = MakeService(options);
+        ScheduleResult cold = service->Schedule(TinyRequest(5), &cold_text);
+        ASSERT_TRUE(cold.ok) << cold.error;
+        EXPECT_EQ(service->stats().result_cache.disk_writes, 1u);
+    }
+
+    auto service = MakeService(options);  // "restarted" process
+    std::string warm_text;
+    ScheduleResult warm = service->Schedule(TinyRequest(5), &warm_text);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_EQ(warm_text, cold_text);
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.searches, 0u);
+    EXPECT_EQ(stats.result_cache.disk_hits, 1u);
+}
+
+TEST(Service, InlineGraphsBypassTheCache)
+{
+    auto service = MakeService();
+    ScheduleRequest request;
+    request.graph = std::make_shared<const Graph>(BuildSvcTiny(1));
+    request.profile = SearchProfile::kQuick;
+    ASSERT_TRUE(service->Schedule(request).ok);
+    ASSERT_TRUE(service->Schedule(request).ok);
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.uncacheable, 2u);
+    EXPECT_EQ(stats.result_cache.hits, 0u);
+    EXPECT_EQ(stats.result_cache.insertions, 0u);
+}
+
+TEST(Service, CoalescedSiblingsObserveOneSearch)
+{
+    auto service = MakeService();
+    constexpr int kCallers = 3;
+
+    // Whoever becomes leader stalls inside the search phase until both
+    // siblings have joined the in-flight entry, guaranteeing overlap.
+    std::atomic<bool> release{false};
+    ScheduleRequest request = TinyRequest(11);
+    request.on_progress = [&](const ProgressEvent &event) {
+        if (event.phase != "search") return;
+        const auto give_up =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (!release.load() &&
+               std::chrono::steady_clock::now() < give_up)
+            std::this_thread::yield();
+    };
+
+    std::vector<std::string> texts(kCallers);
+    std::vector<ScheduleResult> results(kCallers);
+    std::vector<std::thread> callers;
+    for (int i = 0; i < kCallers; ++i) {
+        callers.emplace_back([&, i] {
+            results[i] = service->Schedule(request, &texts[i]);
+        });
+    }
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (service->stats().coalesced <
+               static_cast<std::uint64_t>(kCallers - 1) &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::yield();
+    EXPECT_EQ(service->stats().coalesced,
+              static_cast<std::uint64_t>(kCallers - 1));
+    release.store(true);
+    for (std::thread &t : callers) t.join();
+
+    for (int i = 0; i < kCallers; ++i) {
+        ASSERT_TRUE(results[i].ok) << results[i].error;
+        EXPECT_EQ(texts[i], texts[0]);  // every sibling: same bytes
+    }
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kCallers));
+    EXPECT_EQ(stats.searches, 1u);
+}
+
+TEST(Service, GraphCacheParsesModelOncePerSweep)
+{
+    auto service = MakeService();
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        ASSERT_TRUE(service->Schedule(TinyRequest(seed)).ok);
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.graph_cache.misses, 1u);  // one build...
+    EXPECT_EQ(stats.graph_cache.hits, 3u);    // ...three reuses
+    EXPECT_EQ(stats.searches, 4u);            // distinct seeds: no hits
+}
+
+// ---------------------------------------------------- deadline + cancel
+
+TEST(Service, DeadlineExpiredReportsDistinctStatusAndIsNotCached)
+{
+    auto service = MakeService();
+    ScheduleRequest request = TinyRequest(13);
+    request.profile = SearchProfile::kFull;
+    request.deadline_ms = 1;
+    ScheduleResult result = service->Schedule(request);
+
+    // Truncated almost immediately: either the best-so-far was valid
+    // (ok + deadline_expired) or nothing was found yet (a "deadline"
+    // error) — both are distinct from success and from "cancelled".
+    if (result.ok) {
+        EXPECT_TRUE(result.deadline_expired);
+        const Json json = result.ToJson();
+        ASSERT_NE(json.Find("deadline_expired"), nullptr);
+        EXPECT_TRUE(json.Find("deadline_expired")->AsBool());
+    } else {
+        EXPECT_NE(result.error.find("deadline"), std::string::npos);
+    }
+
+    // Wall-clock-truncated results violate the determinism contract,
+    // so they never enter the cache.
+    EXPECT_EQ(service->stats().result_cache.insertions, 0u);
+    service->Schedule(request);
+    EXPECT_EQ(service->stats().searches, 2u);
+}
+
+TEST(Service, CoalescedWaiterHonorsItsOwnDeadline)
+{
+    auto service = MakeService();
+
+    // The leader stalls in its search phase; a sibling with a 50 ms
+    // deadline must give up with the deadline status instead of
+    // blocking on the leader.
+    std::atomic<bool> release{false};
+    ScheduleRequest leader_request = TinyRequest(19);
+    leader_request.on_progress = [&](const ProgressEvent &event) {
+        if (event.phase != "search") return;
+        const auto give_up =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (!release.load() &&
+               std::chrono::steady_clock::now() < give_up)
+            std::this_thread::yield();
+    };
+    std::thread leader(
+        [&] { ASSERT_TRUE(service->Schedule(leader_request).ok); });
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (service->stats().searches < 1 &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::yield();
+
+    ScheduleRequest sibling = TinyRequest(19);  // same fingerprint
+    sibling.deadline_ms = 50;
+    ScheduleResult aborted = service->Schedule(sibling);
+    EXPECT_FALSE(aborted.ok);
+    EXPECT_TRUE(aborted.deadline_expired);
+    EXPECT_NE(aborted.error.find("deadline"), std::string::npos);
+    EXPECT_EQ(aborted.model, "svc-tiny");
+
+    release.store(true);
+    leader.join();
+    EXPECT_EQ(service->stats().searches, 1u);
+}
+
+TEST(Cancellation, RunSaWindowStopsIterationGranularly)
+{
+    std::atomic<bool> cancel{true};  // pre-set: stop at the first check
+    SaOptions opts;
+    opts.iterations = 100000;
+    opts.cancel = &cancel;
+    opts.cancel_check_interval = 64;
+
+    int current = 0, best = 0;
+    double current_cost = 1000.0, best_cost = 1000.0;
+    Rng rng(1);
+    SaStats stats;
+    RunSaWindow<int>(
+        &current, &current_cost, &best, &best_cost,
+        [](const int &cur, int *next, Rng &) {
+            *next = cur + 1;
+            return true;
+        },
+        [](const int &state) { return 1000.0 - state; }, opts, rng, 0,
+        opts.iterations, &stats);
+
+    EXPECT_LT(stats.iterations, opts.cancel_check_interval);
+    EXPECT_EQ(stats.iterations, stats.evaluated + stats.no_move);
+}
+
+TEST(Cancellation, SyncScheduleCancelsMidSearch)
+{
+    Scheduler scheduler;
+    scheduler.models().Register("svc-tiny", BuildSvcTiny);
+
+    ScheduleRequest request = TinyRequest(17);
+    request.profile = SearchProfile::kDefault;
+    ScheduleResult full = scheduler.Schedule(request);
+    ASSERT_TRUE(full.ok) << full.error;
+
+    // Same request, but the flag trips as the search phase begins: the
+    // annealing loops notice within one check interval.
+    std::atomic<bool> cancel{false};
+    request.cancel = &cancel;
+    request.on_progress = [&](const ProgressEvent &event) {
+        if (event.phase == "search") cancel.store(true);
+    };
+    ScheduleResult cancelled = scheduler.Schedule(request);
+    EXPECT_FALSE(cancelled.ok);
+    EXPECT_EQ(cancelled.error, "cancelled");
+    EXPECT_FALSE(cancelled.deadline_expired);
+    EXPECT_LT(cancelled.stats.iterations, full.stats.iterations);
+}
+
+}  // namespace
+}  // namespace soma

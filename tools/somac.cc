@@ -7,23 +7,37 @@
  *
  *   somac run <request.json> [overrides] [-o result.json] [--outdir D]
  *   somac run --model resnet50 --profile quick --seed 7 [-o out.json]
+ *   somac sweep <spec.json> [--csv F] [--stats F] [--cache-dir D]
+ *   somac fingerprint <request.json> [--canonical]
  *   somac list models|hardware|schedulers
  *   somac validate <result.json>
  *   somac help
  *
+ * `sweep` expands a grid spec (models x hardware overrides x profiles
+ * x seeds) into requests and runs them through the SchedulerService —
+ * shared result/graph caches, in-flight coalescing — emitting a
+ * deterministic CSV results table: re-running a sweep against a warm
+ * `--cache-dir` produces the identical table with zero searches.
+ *
  * `validate` is the tiny schema validator CI uses on the smoke run's
  * output; it checks presence and types of the stable result fields.
  */
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/scheduler.h"
+#include "common/hash.h"
+#include "service/service.h"
 
 namespace {
 
@@ -37,6 +51,10 @@ Usage(std::ostream &os, int code)
           "usage:\n"
           "  somac run [request.json] [overrides] [-o result.json]\n"
           "            [--outdir DIR] [--quiet]\n"
+          "  somac sweep spec.json [--csv FILE] [--json FILE]\n"
+          "            [--stats FILE] [--cache-dir DIR]\n"
+          "            [--cache-capacity N] [--jobs N] [--quiet]\n"
+          "  somac fingerprint request.json [--canonical]\n"
           "  somac list models|hardware|schedulers\n"
           "  somac validate result.json\n"
           "  somac help\n"
@@ -53,13 +71,25 @@ Usage(std::ostream &os, int code)
           "  --cost-n X --cost-m Y   objective Energy^n x Delay^m\n"
           "  --chains K          SA chains (deterministic knob)\n"
           "  --threads T         driver threads (wall-clock only)\n"
+          "  --deadline-ms N     wall-clock budget (0 = none)\n"
           "  --ir --asm --traces --exec-graph   request artifacts\n"
           "  --exec-graph-rows N  execution-graph rows (default 40)\n"
           "\n"
           "-o/--out writes the result JSON (default: stdout);\n"
           "--outdir additionally writes artifacts as files\n"
           "(<model>.ir, <model>.asm, <model>_{compute,dram,buffer}.csv,\n"
-          "<model>_execgraph.txt).\n";
+          "<model>_execgraph.txt).\n"
+          "\n"
+          "sweep spec.json: {\"base\": {request fields...},\n"
+          "  \"models\": [...], \"batches\": [...], \"hardware\": [...],\n"
+          "  \"gbuf_mb\": [...], \"dram_gbps\": [...],\n"
+          "  \"schedulers\": [...], \"profiles\": [...], \"seeds\": [...]}\n"
+          "Missing axes inherit the base request's value. The CSV table\n"
+          "is deterministic: same spec + warm cache => identical bytes.\n"
+          "\n"
+          "fingerprint prints the request's canonical 64-bit identity\n"
+          "(the service-layer cache key) as 16 hex digits;\n"
+          "--canonical additionally prints the canonical request JSON.\n";
     return code;
 }
 
@@ -168,8 +198,8 @@ FlagTakesValue(const std::string &flag)
     static const char *kValueFlags[] = {
         "--model", "--batch", "--hw", "--hardware", "--gbuf-mb",
         "--dram-gbps", "--scheduler", "--profile", "--seed", "--cost-n",
-        "--cost-m", "--chains", "--threads", "--exec-graph-rows", "-o",
-        "--out", "--outdir"};
+        "--cost-m", "--chains", "--threads", "--deadline-ms",
+        "--exec-graph-rows", "-o", "--out", "--outdir"};
     for (const char *f : kValueFlags)
         if (flag == f) return true;
     return false;
@@ -296,6 +326,10 @@ CmdRun(const std::vector<std::string> &args)
             if (!(v = need_value(i, arg))) return 2;
             if (!ParseIntArg(arg, *v, &request.threads)) return 2;
             ++i;
+        } else if (arg == "--deadline-ms") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseIntArg(arg, *v, &request.deadline_ms)) return 2;
+            ++i;
         } else if (arg == "--ir") {
             request.artifacts.ir = true;
         } else if (arg == "--asm") {
@@ -376,6 +410,465 @@ CmdRun(const std::vector<std::string> &args)
         return 1;
     }
     return 0;
+}
+
+bool
+LoadRequest(const std::string &path, ScheduleRequest *request)
+{
+    std::string text, err;
+    if (!ReadFile(path, &text, &err)) {
+        std::cerr << err << "\n";
+        return false;
+    }
+    Json json;
+    if (!Json::Parse(text, &json, &err) ||
+        !ScheduleRequest::FromJson(json, request, &err)) {
+        std::cerr << path << ": " << err << "\n";
+        return false;
+    }
+    return true;
+}
+
+int
+CmdFingerprint(const std::vector<std::string> &args)
+{
+    std::string path;
+    bool canonical = false;
+    for (const std::string &arg : args) {
+        if (arg == "--canonical") {
+            canonical = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown flag " << arg << "\n";
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::cerr << "more than one request JSON given\n";
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "usage: somac fingerprint request.json "
+                     "[--canonical]\n";
+        return 2;
+    }
+    ScheduleRequest request;
+    if (!LoadRequest(path, &request)) return 2;
+    std::cout << HexU64(request.Fingerprint()) << "\n";
+    if (canonical)
+        std::cout << request.CanonicalJson().CanonicalDump() << "\n";
+    return 0;
+}
+
+// ------------------------------------------------------------------ sweep
+
+/** One expanded grid point with its (deterministic) table row. */
+struct SweepRow {
+    ScheduleRequest request;
+    ScheduleResult result;
+};
+
+bool
+StringAxis(const Json &value, const std::string &key,
+           std::vector<std::string> *out, std::string *err)
+{
+    if (!value.IsArray()) {
+        *err = "sweep field \"" + key + "\" must be an array of strings";
+        return false;
+    }
+    for (const Json &v : value.array_items()) {
+        if (!v.IsString()) {
+            *err = "sweep field \"" + key + "\" must contain strings";
+            return false;
+        }
+        out->push_back(v.AsString());
+    }
+    return true;
+}
+
+bool
+NumberAxis(const Json &value, const std::string &key,
+           std::vector<double> *out, std::string *err)
+{
+    if (!value.IsArray()) {
+        *err = "sweep field \"" + key + "\" must be an array of numbers";
+        return false;
+    }
+    for (const Json &v : value.array_items()) {
+        if (!v.IsNumber()) {
+            *err = "sweep field \"" + key + "\" must contain numbers";
+            return false;
+        }
+        out->push_back(v.AsDouble());
+    }
+    return true;
+}
+
+/** Exact unsigned integers (no silent truncation: fractional values
+ *  and values beyond 2^63 are rejected; integer literals keep their
+ *  exact u64 payload through Json). */
+bool
+U64Axis(const Json &value, const std::string &key,
+        std::vector<std::uint64_t> *out, std::string *err)
+{
+    if (!value.IsArray()) {
+        *err = "sweep field \"" + key + "\" must be an array of integers";
+        return false;
+    }
+    for (const Json &v : value.array_items()) {
+        const double d = v.AsDouble();
+        if (!v.IsNumber() || d < 0 || d != std::floor(d) || d > 9.2e18) {
+            *err = "sweep field \"" + key +
+                   "\" must contain non-negative integers (< 2^63)";
+            return false;
+        }
+        out->push_back(v.AsU64());
+    }
+    return true;
+}
+
+/** Expand @p spec_json into the grid's requests, in deterministic
+ *  nested-loop order (models, batches, hardware, gbuf, dram,
+ *  schedulers, profiles, seeds — innermost last). */
+bool
+ExpandSweepSpec(const Json &spec_json,
+                std::vector<ScheduleRequest> *requests, std::string *err)
+{
+    if (!spec_json.IsObject()) {
+        *err = "sweep spec must be a JSON object";
+        return false;
+    }
+    ScheduleRequest base;
+    std::vector<std::string> models, hardware, schedulers, profiles;
+    std::vector<double> batches, gbuf_mb, dram_gbps;
+    std::vector<std::uint64_t> seeds;
+    for (const auto &[key, value] : spec_json.items()) {
+        if (key == "base") {
+            if (!ScheduleRequest::FromJson(value, &base, err)) {
+                *err = "sweep base: " + *err;
+                return false;
+            }
+        } else if (key == "models") {
+            if (!StringAxis(value, key, &models, err)) return false;
+        } else if (key == "hardware") {
+            if (!StringAxis(value, key, &hardware, err)) return false;
+        } else if (key == "schedulers") {
+            if (!StringAxis(value, key, &schedulers, err)) return false;
+        } else if (key == "profiles") {
+            if (!StringAxis(value, key, &profiles, err)) return false;
+        } else if (key == "batches") {
+            if (!NumberAxis(value, key, &batches, err)) return false;
+        } else if (key == "gbuf_mb") {
+            if (!NumberAxis(value, key, &gbuf_mb, err)) return false;
+        } else if (key == "dram_gbps") {
+            if (!NumberAxis(value, key, &dram_gbps, err)) return false;
+        } else if (key == "seeds") {
+            if (!U64Axis(value, key, &seeds, err)) return false;
+        } else {
+            *err = "unknown sweep field \"" + key + "\"";
+            return false;
+        }
+    }
+
+    // Missing axes collapse to the base request's value.
+    if (models.empty()) models.push_back(base.model);
+    if (hardware.empty()) hardware.push_back(base.hardware);
+    if (schedulers.empty()) schedulers.push_back(base.scheduler);
+    std::vector<SearchProfile> profile_axis;
+    if (profiles.empty()) {
+        profile_axis.push_back(base.profile);
+    } else {
+        for (const std::string &p : profiles) {
+            SearchProfile parsed;
+            if (!ParseSearchProfile(p, &parsed)) {
+                *err = "unknown profile \"" + p +
+                       "\" (expected quick, default or full)";
+                return false;
+            }
+            profile_axis.push_back(parsed);
+        }
+    }
+    std::vector<int> batch_axis;
+    if (batches.empty()) batch_axis.push_back(base.batch);
+    for (double b : batches) {
+        if (b < 1 || b > 1000000 || b != std::floor(b)) {
+            *err = "sweep batches must be integers in [1, 1000000]";
+            return false;
+        }
+        batch_axis.push_back(static_cast<int>(b));
+    }
+    std::vector<Bytes> gbuf_axis;
+    if (gbuf_mb.empty()) gbuf_axis.push_back(base.gbuf_bytes);
+    for (double mb : gbuf_mb) {
+        if (mb < 0) {
+            *err = "sweep gbuf_mb must be non-negative";
+            return false;
+        }
+        gbuf_axis.push_back(static_cast<Bytes>(mb * 1024 * 1024));
+    }
+    std::vector<double> dram_axis;
+    if (dram_gbps.empty()) dram_axis.push_back(base.dram_gbps);
+    for (double g : dram_gbps) {
+        if (g < 0) {
+            *err = "sweep dram_gbps must be non-negative";
+            return false;
+        }
+        dram_axis.push_back(g);
+    }
+    std::vector<std::uint64_t> seed_axis = seeds;
+    if (seed_axis.empty()) seed_axis.push_back(base.seed);
+
+    for (const std::string &model : models)
+        for (int batch : batch_axis)
+            for (const std::string &hw : hardware)
+                for (Bytes gbuf : gbuf_axis)
+                    for (double dram : dram_axis)
+                        for (const std::string &sched : schedulers)
+                            for (SearchProfile profile : profile_axis)
+                                for (std::uint64_t seed : seed_axis) {
+                                    ScheduleRequest r = base;
+                                    r.model = model;
+                                    r.batch = batch;
+                                    r.hardware = hw;
+                                    r.gbuf_bytes = gbuf;
+                                    r.dram_gbps = dram;
+                                    r.scheduler = sched;
+                                    r.profile = profile;
+                                    r.seed = seed;
+                                    requests->push_back(std::move(r));
+                                }
+    if (requests->empty()) {
+        *err = "sweep spec expands to zero requests";
+        return false;
+    }
+    return true;
+}
+
+std::string
+FormatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+const char *
+RowStatus(const ScheduleResult &result)
+{
+    // "deadline" rows with numbers carry a truncated-but-valid scheme;
+    // without numbers the deadline passed before anything was found.
+    if (result.deadline_expired) return "deadline";
+    return result.ok ? "ok" : "error";
+}
+
+/** One table row. Only deterministic fields appear — no timings, no
+ *  cache provenance — so a warm re-run emits identical bytes. */
+std::string
+CsvRow(const SweepRow &row)
+{
+    const ScheduleRequest &rq = row.request;
+    const ScheduleResult &rs = row.result;
+    std::ostringstream os;
+    os << HexU64(rq.Fingerprint()) << ',' << rq.model << ',' << rq.batch
+       << ',' << rq.hardware << ',' << rq.gbuf_bytes << ','
+       << FormatDouble(rq.dram_gbps) << ',' << rq.scheduler << ','
+       << ToString(rq.profile) << ',' << rq.seed << ','
+       << RowStatus(rs);
+    if (rs.ok) {
+        os << ',' << FormatDouble(rs.cost) << ','
+           << FormatDouble(rs.report.latency) << ','
+           << FormatDouble(rs.report.EnergyJ()) << ','
+           << rs.report.dram_bytes << ',' << rs.stats.iterations;
+    } else {
+        os << ",,,,,";
+    }
+    return os.str();
+}
+
+Json
+JsonRow(const SweepRow &row)
+{
+    const ScheduleRequest &rq = row.request;
+    const ScheduleResult &rs = row.result;
+    Json json = Json::Object();
+    json.Set("fingerprint", Json::Str(HexU64(rq.Fingerprint())));
+    json.Set("model", Json::Str(rq.model));
+    json.Set("batch", Json::Int(rq.batch));
+    json.Set("hardware", Json::Str(rq.hardware));
+    json.Set("gbuf_bytes", Json::Int(rq.gbuf_bytes));
+    json.Set("dram_gbps", Json::Number(rq.dram_gbps));
+    json.Set("scheduler", Json::Str(rq.scheduler));
+    json.Set("profile", Json::Str(ToString(rq.profile)));
+    json.Set("seed", Json::U64(rq.seed));
+    json.Set("status", Json::Str(RowStatus(rs)));
+    if (rs.ok) {
+        json.Set("cost", Json::Number(rs.cost));
+        json.Set("latency", Json::Number(rs.report.latency));
+        json.Set("energy_j", Json::Number(rs.report.EnergyJ()));
+        json.Set("dram_bytes", Json::Int(rs.report.dram_bytes));
+        json.Set("iterations", Json::Int(rs.stats.iterations));
+    } else {
+        json.Set("error", Json::Str(rs.error));
+    }
+    return json;
+}
+
+constexpr const char *kSweepCsvHeader =
+    "fingerprint,model,batch,hardware,gbuf_bytes,dram_gbps,scheduler,"
+    "profile,seed,status,cost,latency,energy_j,dram_bytes,iterations";
+
+int
+CmdSweep(const std::vector<std::string> &args)
+{
+    std::string spec_path, csv_path, json_path, stats_path, cache_dir;
+    int cache_capacity = 0, jobs = 2;
+    bool quiet = false;
+
+    auto need_value = [&args](std::size_t i, const std::string &flag)
+        -> const std::string * {
+        if (i + 1 >= args.size()) {
+            std::cerr << flag << " needs a value\n";
+            return nullptr;
+        }
+        return &args[i + 1];
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const std::string *v = nullptr;
+        if (arg.empty() || arg[0] != '-') {
+            if (!spec_path.empty()) {
+                std::cerr << "more than one sweep spec given (\"" << arg
+                          << "\")\n";
+                return 2;
+            }
+            spec_path = arg;
+        } else if (arg == "--csv") {
+            if (!(v = need_value(i, arg))) return 2;
+            csv_path = *v, ++i;
+        } else if (arg == "--json") {
+            if (!(v = need_value(i, arg))) return 2;
+            json_path = *v, ++i;
+        } else if (arg == "--stats") {
+            if (!(v = need_value(i, arg))) return 2;
+            stats_path = *v, ++i;
+        } else if (arg == "--cache-dir") {
+            if (!(v = need_value(i, arg))) return 2;
+            cache_dir = *v, ++i;
+        } else if (arg == "--cache-capacity") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseIntArg(arg, *v, &cache_capacity)) return 2;
+            ++i;
+        } else if (arg == "--jobs") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseIntArg(arg, *v, &jobs)) return 2;
+            ++i;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::cerr << "unknown flag " << arg << "\n";
+            return 2;
+        }
+    }
+    if (spec_path.empty()) {
+        std::cerr << "usage: somac sweep spec.json [--csv FILE] "
+                     "[--stats FILE] [--cache-dir DIR]\n";
+        return 2;
+    }
+
+    std::string text, err;
+    if (!ReadFile(spec_path, &text, &err)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+    Json spec_json;
+    if (!Json::Parse(text, &spec_json, &err)) {
+        std::cerr << spec_path << ": " << err << "\n";
+        return 2;
+    }
+    std::vector<ScheduleRequest> requests;
+    if (!ExpandSweepSpec(spec_json, &requests, &err)) {
+        std::cerr << spec_path << ": " << err << "\n";
+        return 2;
+    }
+
+    ServiceOptions options;
+    options.cache_dir = cache_dir;
+    if (cache_capacity > 0)
+        options.result_cache_capacity =
+            static_cast<std::size_t>(cache_capacity);
+    SchedulerService service(options);
+
+    if (!quiet)
+        std::cerr << "[somac] sweep: " << requests.size()
+                  << " requests, jobs=" << jobs
+                  << (cache_dir.empty() ? ""
+                                        : ", cache-dir=" + cache_dir)
+                  << "\n";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<SweepRow> rows(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        rows[i].request = requests[i];
+
+    // Work-stealing over the grid; rows land at their expansion index,
+    // so the table order never depends on jobs or completion order.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= rows.size()) return;
+            rows[i].result = service.Schedule(rows[i].request);
+        }
+    };
+    const int spawn =
+        std::max(1, std::min<int>(jobs, static_cast<int>(rows.size())));
+    std::vector<std::thread> team;
+    team.reserve(spawn - 1);
+    for (int t = 1; t < spawn; ++t) team.emplace_back(worker);
+    worker();
+    for (std::thread &t : team) t.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    // ---- emit the results table (and optional JSON/stats mirrors).
+    std::ostringstream csv;
+    csv << kSweepCsvHeader << "\n";
+    for (const SweepRow &row : rows) csv << CsvRow(row) << "\n";
+    if (csv_path.empty()) {
+        std::cout << csv.str();
+    } else if (!WriteFile(csv_path, csv.str(), &err)) {
+        std::cerr << err << "\n";
+        return 2;
+    }
+    if (!json_path.empty()) {
+        Json array = Json::Array();
+        for (const SweepRow &row : rows) array.Append(JsonRow(row));
+        if (!WriteFile(json_path, array.Dump(2) + "\n", &err)) {
+            std::cerr << err << "\n";
+            return 2;
+        }
+    }
+    const ServiceStats stats = service.stats();
+    if (!stats_path.empty()) {
+        if (!WriteFile(stats_path, stats.ToJson().Dump(2) + "\n", &err)) {
+            std::cerr << err << "\n";
+            return 2;
+        }
+    }
+
+    std::size_t failed = 0;
+    for (const SweepRow &row : rows)
+        if (!row.result.ok) ++failed;
+    if (!quiet)
+        std::cerr << "[somac] sweep done: " << rows.size() << " requests ("
+                  << failed << " failed) in " << seconds << "s — "
+                  << stats.searches << " searches, "
+                  << stats.result_cache.hits << " cache hits ("
+                  << stats.result_cache.disk_hits << " from disk), "
+                  << stats.coalesced << " coalesced\n";
+    return failed == 0 ? 0 : 1;
 }
 
 /** Schema check for result JSONs: required keys with the right types. */
@@ -470,6 +963,8 @@ main(int argc, char **argv)
     const std::string cmd = args[0];
     args.erase(args.begin());
     if (cmd == "run") return CmdRun(args);
+    if (cmd == "sweep") return CmdSweep(args);
+    if (cmd == "fingerprint") return CmdFingerprint(args);
     if (cmd == "list") return CmdList(args);
     if (cmd == "validate") return CmdValidate(args);
     if (cmd == "help" || cmd == "--help" || cmd == "-h")
