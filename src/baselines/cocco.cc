@@ -124,7 +124,9 @@ RunCocco(const Graph &graph, const HardwareConfig &hw,
         return rep.Cost(n, m);
     };
 
+    auto tiling_cache = std::make_shared<TilingCache>();
     EvalContext serial_ctx;
+    serial_ctx.set_tiling_cache(tiling_cache);
     auto evaluate = [&](const CoccoState &state) -> double {
         return eval_with(serial_ctx, core_eval, state);
     };
@@ -155,10 +157,14 @@ RunCocco(const Graph &graph, const HardwareConfig &hw,
     sa.iterations = std::min(opts.max_iterations,
                              opts.beta * graph.NumLayers());
 
+    // Chains share the serial pass's tile-cost memo and tiling cache
+    // (pure-value caches: sharing never perturbs per-seed determinism).
     auto make_env = [&](int /*chain*/) {
         ChainEnv<CoccoState> env;
-        auto ce = std::make_shared<CoreArrayEvaluator>(graph, hw);
+        auto ce = std::make_shared<CoreArrayEvaluator>(graph, hw,
+                                                       core_eval.memo());
         auto ctx = std::make_shared<EvalContext>();
+        ctx->set_tiling_cache(tiling_cache);
         env.mutate = [&graph](const CoccoState &cur, CoccoState *next,
                               Rng &r) {
             return MutateCocco(graph, cur, next, r);

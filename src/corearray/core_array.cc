@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 
 namespace soma {
 
@@ -14,34 +15,85 @@ CeilDiv(std::int64_t a, std::int64_t b)
     return (a + b - 1) / b;
 }
 
-std::uint64_t
-MemoKey(LayerId layer, const Region &r)
+}  // namespace
+
+TileCostMemo::TileKey
+TileCostMemo::Key(LayerId layer, const Region &region)
 {
-    // Tiles of the same layer with equal extents cost the same; positions
-    // are irrelevant to the core array.
-    std::uint64_t key = static_cast<std::uint64_t>(layer);
-    key = key * 1315423911ULL + static_cast<std::uint64_t>(r.Batches());
-    key = key * 1315423911ULL + static_cast<std::uint64_t>(r.Rows());
-    key = key * 1315423911ULL + static_cast<std::uint64_t>(r.Cols());
-    return key;
+    return TileKey{static_cast<std::int32_t>(layer), region.Batches(),
+                   region.Rows(), region.Cols()};
 }
 
-}  // namespace
+std::size_t
+TileCostMemo::KeyHash::operator()(const TileKey &key) const
+{
+    std::uint64_t z = (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(key.layer))
+                       << 32) |
+                      static_cast<std::uint32_t>(key.batches);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z ^= (static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(key.rows))
+          << 32) |
+         static_cast<std::uint32_t>(key.cols);
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+}
+
+TileCostMemo::Shard &
+TileCostMemo::ShardFor(const TileKey &key) const
+{
+    return shards_[KeyHash{}(key) & (kShards - 1)];
+}
+
+const TileCost *
+TileCostMemo::Find(const TileKey &key) const
+{
+    Shard &shard = ShardFor(key);
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    return it == shard.map.end() ? nullptr : &it->second;
+}
+
+const TileCost &
+TileCostMemo::Insert(const TileKey &key, const TileCost &cost)
+{
+    Shard &shard = ShardFor(key);
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    return shard.map.emplace(key, cost).first->second;
+}
+
+std::size_t
+TileCostMemo::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        total += shard.map.size();
+    }
+    return total;
+}
 
 CoreArrayEvaluator::CoreArrayEvaluator(const Graph &graph,
                                        const HardwareConfig &hw)
-    : graph_(graph), hw_(hw)
+    : CoreArrayEvaluator(graph, hw, std::make_shared<TileCostMemo>())
 {
+}
+
+CoreArrayEvaluator::CoreArrayEvaluator(const Graph &graph,
+                                       const HardwareConfig &hw,
+                                       std::shared_ptr<TileCostMemo> memo)
+    : graph_(graph), hw_(hw), memo_(std::move(memo))
+{
+    assert(memo_);
 }
 
 const TileCost &
 CoreArrayEvaluator::Evaluate(LayerId layer, const Region &region)
 {
-    std::uint64_t key = MemoKey(layer, region);
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-    TileCost cost = Compute(layer, region);
-    return memo_.emplace(key, cost).first->second;
+    const TileCostMemo::TileKey key = TileCostMemo::Key(layer, region);
+    if (const TileCost *hit = memo_->Find(key)) return *hit;
+    return memo_->Insert(key, Compute(layer, region));
 }
 
 Bytes

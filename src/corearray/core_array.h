@@ -14,6 +14,10 @@
 #ifndef SOMA_COREARRAY_CORE_ARRAY_H
 #define SOMA_COREARRAY_CORE_ARRAY_H
 
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "hw/hardware.h"
@@ -28,19 +32,89 @@ struct TileCost {
     double energy_pj = 0.0;  ///< MAC + vector + L0 + GBUF energy
     Ops ops = 0;             ///< ops actually executed (incl. halo redo)
     Bytes gbuf_traffic = 0;  ///< bytes moved between GBUF and L0s
+
+    bool operator==(const TileCost &o) const
+    {
+        return seconds == o.seconds && energy_pj == o.energy_pj &&
+               ops == o.ops && gbuf_traffic == o.gbuf_traffic;
+    }
+    bool operator!=(const TileCost &o) const { return !(*this == o); }
 };
 
 /**
- * Analytical per-tile mapper with memoization. Not thread safe; create
- * one instance per search thread.
+ * Sharded read-mostly concurrent memo of tile costs, shared by every
+ * CoreArrayEvaluator of one search (all SearchDriver chains warm one
+ * memo instead of each starting cold). Keys carry (layer, batches,
+ * rows, cols) exactly — no lossy hashing, full equality on lookup —
+ * so a hit always returns the cost the key's tile shape
+ * deterministically computes to: results never depend on which chain
+ * inserted an entry first. Entries are never erased, so returned
+ * references stay valid for the memo's lifetime.
+ */
+class TileCostMemo {
+  public:
+    /** Exact memo key: tiles of one layer with equal extents cost the
+     *  same; positions are irrelevant to the core array. */
+    struct TileKey {
+        std::int32_t layer = 0;
+        std::int32_t batches = 0;
+        std::int32_t rows = 0;
+        std::int32_t cols = 0;
+        bool operator==(const TileKey &o) const
+        {
+            return layer == o.layer && batches == o.batches &&
+                   rows == o.rows && cols == o.cols;
+        }
+        bool operator!=(const TileKey &o) const { return !(*this == o); }
+    };
+
+    static TileKey Key(LayerId layer, const Region &region);
+
+    /** The cost stored for @p key, or nullptr on a miss. */
+    const TileCost *Find(const TileKey &key) const;
+
+    /** Insert @p cost for @p key; returns the stored entry (the
+     *  already-present one if another thread raced the insert — both
+     *  computed the identical value). */
+    const TileCost &Insert(const TileKey &key, const TileCost &cost);
+
+    /** Total entries over all shards (approximate under concurrency). */
+    std::size_t size() const;
+
+  private:
+    struct KeyHash {
+        std::size_t operator()(const TileKey &key) const;
+    };
+    static constexpr int kShards = 16;
+    struct Shard {
+        mutable std::shared_mutex mutex;
+        std::unordered_map<TileKey, TileCost, KeyHash> map;
+    };
+    Shard &ShardFor(const TileKey &key) const;
+
+    mutable std::array<Shard, kShards> shards_;
+};
+
+/**
+ * Analytical per-tile mapper with memoization. Thread-safe: the memo is
+ * a concurrent TileCostMemo that several evaluators (one per search
+ * chain) can share; graph/hardware state is immutable after
+ * construction.
  */
 class CoreArrayEvaluator {
   public:
+    /** Evaluator with its own fresh memo. */
     CoreArrayEvaluator(const Graph &graph, const HardwareConfig &hw);
+
+    /** Evaluator sharing @p memo (e.g. the stage-wide memo all chains
+     *  of a SearchDriver run warm together). */
+    CoreArrayEvaluator(const Graph &graph, const HardwareConfig &hw,
+                       std::shared_ptr<TileCostMemo> memo);
 
     /**
      * Cost of computing @p region of @p layer's ofmap. Empty regions
-     * cost zero.
+     * cost zero. The returned reference stays valid for the memo's
+     * lifetime.
      */
     const TileCost &Evaluate(LayerId layer, const Region &region);
 
@@ -49,6 +123,10 @@ class CoreArrayEvaluator {
 
     const HardwareConfig &hw() const { return hw_; }
     const Graph &graph() const { return graph_; }
+
+    /** The memo backing this evaluator — pass to sibling evaluators to
+     *  share warm-up across chains. */
+    const std::shared_ptr<TileCostMemo> &memo() const { return memo_; }
 
   private:
     TileCost Compute(LayerId layer, const Region &region) const;
@@ -62,7 +140,7 @@ class CoreArrayEvaluator {
 
     const Graph &graph_;
     HardwareConfig hw_;
-    std::unordered_map<std::uint64_t, TileCost> memo_;
+    std::shared_ptr<TileCostMemo> memo_;
 };
 
 }  // namespace soma

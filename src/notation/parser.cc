@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <numeric>
+
+#include "common/logging.h"
+#include "tiling/tiling_cache.h"
 
 namespace soma {
 
@@ -73,6 +77,11 @@ ProducerShape(const Graph &graph, const InputRef &in, int *c, int *h, int *w)
     }
 }
 
+void ParseLfaIntoImpl(const Graph &graph, const LfaEncoding &lfa,
+                      CoreArrayEvaluator &core_eval,
+                      const ParseOptions &popts, ParseScratch *scratch,
+                      ParsedSchedule *out_ptr, TilingCache *tiling_cache);
+
 }  // namespace
 
 ParsedSchedule
@@ -85,10 +94,50 @@ ParseLfa(const Graph &graph, const LfaEncoding &lfa,
     return out;
 }
 
+bool
+ParsedSchedulesIdentical(const ParsedSchedule &a, const ParsedSchedule &b)
+{
+    return a.valid == b.valid && a.why_invalid == b.why_invalid &&
+           a.num_flgs == b.num_flgs && a.num_lgs == b.num_lgs &&
+           a.tiles == b.tiles && a.tensors == b.tensors &&
+           a.onchip == b.onchip;
+}
+
 void
 ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
              CoreArrayEvaluator &core_eval, const ParseOptions &popts,
-             ParseScratch *scratch, ParsedSchedule *out_ptr)
+             ParseScratch *scratch, ParsedSchedule *out_ptr,
+             TilingCache *tiling_cache)
+{
+    ParseLfaIntoImpl(graph, lfa, core_eval, popts, scratch, out_ptr,
+                     tiling_cache);
+    if (popts.cross_check) {
+        // Reference: from-scratch parse with no group memo and no
+        // shared tiling cache. Any divergence is a bug in the
+        // incremental path — fail loudly, never silently mis-schedule.
+        ParseOptions ref_popts = popts;
+        ref_popts.cross_check = false;
+        ref_popts.reuse_groups = false;
+        ParseScratch ref_scratch;
+        ParsedSchedule ref;
+        ParseLfaIntoImpl(graph, lfa, core_eval, ref_popts, &ref_scratch,
+                         &ref, nullptr);
+        if (!ParsedSchedulesIdentical(*out_ptr, ref)) {
+            SOMA_ERROR << "incremental parse diverged from full parse "
+                          "for "
+                       << lfa.ToString(graph);
+            std::abort();
+        }
+    }
+}
+
+namespace {
+
+void
+ParseLfaIntoImpl(const Graph &graph, const LfaEncoding &lfa,
+                 CoreArrayEvaluator &core_eval, const ParseOptions &popts,
+                 ParseScratch *scratch, ParsedSchedule *out_ptr,
+                 TilingCache *tiling_cache)
 {
     ParsedSchedule &out = *out_ptr;
     out.valid = false;
@@ -126,13 +175,77 @@ ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
         }
     }
 
-    // Tile the FLGs (backward halo propagation).
-    std::vector<FlgTiling> &tilings = scratch->tilings;
-    tilings.resize(lfa.NumFlgs());
+    // Tile and cost the FLGs. Group blocks are content-addressed:
+    // groups untouched by the last mutation ("clean") reuse their
+    // memoized block — tiling (backward halo propagation) and per-tile
+    // core-array costs — verbatim; only dirty groups re-derive it.
+    if (scratch->memo_graph != static_cast<const void *>(&graph) ||
+        scratch->memo_eval != static_cast<const void *>(&core_eval)) {
+        scratch->group_memo.clear();
+        scratch->memo_graph = &graph;
+        scratch->memo_eval = &core_eval;
+    }
+    if (scratch->group_memo.size() > ParseScratch::kGroupMemoCap)
+        scratch->group_memo.clear();
+    scratch->group_overflow.clear();
+    scratch->last_dirty_groups = 0;
+    scratch->last_clean_groups = 0;
+    std::vector<const ParseScratch::GroupParse *> &groups = scratch->groups;
+    groups.assign(lfa.NumFlgs(), nullptr);
     for (int g = 0; g < lfa.NumFlgs(); ++g) {
-        tilings[g] = ComputeFlgTiling(graph, flg_layers[g], lfa.tiling[g]);
-        if (!tilings[g].valid) {
-            out.why_invalid = "tiling " + std::to_string(lfa.tiling[g]) +
+        const int rounds = lfa.tiling[g];
+        const auto &layers = flg_layers[g];
+        // Content signature (collision-checked below against the full
+        // layers/tiles key).
+        const std::uint64_t sig = GroupKeyHash(layers, rounds);
+        auto it = scratch->group_memo.find(sig);
+        const bool key_matches = it != scratch->group_memo.end() &&
+                                 it->second.tiles == rounds &&
+                                 it->second.layers == layers;
+        if (popts.reuse_groups && key_matches) {
+            groups[g] = &it->second;
+            ++scratch->last_clean_groups;
+        } else {
+            ParseScratch::GroupParse block;
+            block.layers = layers;
+            block.tiles = rounds;
+            block.tiling =
+                tiling_cache
+                    ? tiling_cache->Get(graph, layers, rounds)
+                    : std::make_shared<const FlgTiling>(
+                          ComputeFlgTiling(graph, layers, rounds));
+            if (block.tiling->valid) {
+                block.costs.reserve(layers.size() *
+                                    static_cast<std::size_t>(rounds));
+                for (int t = 0; t < rounds; ++t) {
+                    for (std::size_t i = 0; i < layers.size(); ++i) {
+                        block.costs.push_back(core_eval.Evaluate(
+                            layers[i], block.tiling->regions[i][t]));
+                    }
+                }
+            }
+            if (!popts.reuse_groups ||
+                it != scratch->group_memo.end()) {
+                // Not memoized: either reuse is off (keep the memo
+                // untouched — its content-addressed entries stay valid
+                // for a later reuse-on parse), or the signature
+                // collided with a *different* resident group, which
+                // must never be evicted mid-parse (an earlier group
+                // may already point at it). Park the block in
+                // per-parse overflow storage.
+                scratch->group_overflow.push_back(
+                    std::make_unique<ParseScratch::GroupParse>(
+                        std::move(block)));
+                groups[g] = scratch->group_overflow.back().get();
+            } else {
+                groups[g] = &scratch->group_memo
+                                 .emplace(sig, std::move(block))
+                                 .first->second;
+            }
+            ++scratch->last_dirty_groups;
+        }
+        if (!groups[g]->tiling->valid) {
+            out.why_invalid = "tiling " + std::to_string(rounds) +
                               " infeasible for FLG " + std::to_string(g);
             return;
         }
@@ -151,6 +264,7 @@ ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
     for (int g = 0; g < lfa.NumFlgs(); ++g) {
         const int rounds = lfa.tiling[g];
         const auto &layers = flg_layers[g];
+        const ParseScratch::GroupParse &block = *groups[g];
         for (LayerId id : layers) pos_of[id].resize(rounds);
         for (int t = 0; t < rounds; ++t) {
             for (std::size_t i = 0; i < layers.size(); ++i) {
@@ -160,9 +274,11 @@ ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
                 tile.flg = g;
                 tile.lg = lg_of_layer[id];
                 tile.round = t;
-                tile.region = tilings[g].regions[i][t];
+                tile.region = block.tiling->regions[i][t];
                 assert(!tile.region.Empty());
-                tile.cost = core_eval.Evaluate(id, tile.region);
+                tile.cost = block.costs[static_cast<std::size_t>(t) *
+                                            layers.size() +
+                                        i];
                 pos_of[id][t] = static_cast<TilePos>(out.tiles.size());
                 out.tiles.push_back(std::move(tile));
             }
@@ -219,7 +335,7 @@ ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
             if (!from_dram) continue;
             int pc, ph, pw;
             ProducerShape(graph, in, &pc, &ph, &pw);
-            const auto &regions = tilings[g].regions[idx_in_flg[id]];
+            const auto &regions = groups[g]->tiling->regions[idx_in_flg[id]];
             Region prev_need;
             int prev_tensor = -1;
             for (int t = 0; t < rounds; ++t) {
@@ -260,8 +376,9 @@ ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
         if (stores) {
             for (int t = 0; t < rounds; ++t) {
                 Region slice =
-                    CanonicalSlice(tilings[g].split, t, graph.batch(),
-                                   l.outHeight(), l.outWidth());
+                    CanonicalSlice(groups[g]->tiling->split, t,
+                                   graph.batch(), l.outHeight(),
+                                   l.outWidth());
                 DramTensor dt;
                 dt.kind = DramTensorKind::kOfmap;
                 dt.layer = id;
@@ -290,7 +407,7 @@ ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
                 iv.from = pos_of[id][t];
                 iv.to = last_same_flg + 1;
                 iv.bytes = l.OutputBytes(
-                    tilings[g].regions[idx_in_flg[id]][t]);
+                    groups[g]->tiling->regions[idx_in_flg[id]][t]);
                 iv.producer = id;
                 out.onchip.push_back(iv);
             }
@@ -347,6 +464,8 @@ ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
 
     out.valid = true;
 }
+
+}  // namespace
 
 bool
 DlsaValid(const ParsedSchedule &parsed, const DlsaEncoding &dlsa,

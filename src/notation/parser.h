@@ -9,7 +9,10 @@
 #ifndef SOMA_NOTATION_PARSER_H
 #define SOMA_NOTATION_PARSER_H
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "corearray/core_array.h"
@@ -18,6 +21,8 @@
 #include "workload/graph.h"
 
 namespace soma {
+
+class TilingCache;
 
 /** What a DRAM tensor is. Loads are weights/ifmaps; stores are ofmaps. */
 enum class DramTensorKind { kWeight, kIfmap, kOfmap };
@@ -34,6 +39,22 @@ enum class DramTensorKind { kWeight, kIfmap, kOfmap };
  */
 struct ParseOptions {
     bool lg_resident_weights = false;
+    /**
+     * Reuse memoized group blocks from the scratch across calls (the
+     * incremental parse). Off: every group re-derives each call — the
+     * pre-incremental behaviour, kept for the bench's legacy-vs-
+     * incremental comparison and the cross-check reference.
+     */
+    bool reuse_groups = true;
+    /**
+     * Debug invariant check for the incremental (group-memoized) parse:
+     * after every ParseLfaInto, re-parse from scratch without any cache
+     * and abort unless the two ParsedSchedules are bit-identical.
+     * Roughly halves parse throughput — enable in property tests and
+     * verification runs only (the LFA stage turns it on under
+     * SOMA_LFA_CROSS_CHECK=1).
+     */
+    bool cross_check = false;
 };
 
 /** One tensor that must move between DRAM and the GBUF. */
@@ -65,6 +86,15 @@ struct DramTensor {
 
     bool IsLoad() const { return kind != DramTensorKind::kOfmap; }
 
+    bool operator==(const DramTensor &o) const
+    {
+        return kind == o.kind && layer == o.layer &&
+               src_layer == o.src_layer && round == o.round &&
+               input_index == o.input_index && bytes == o.bytes &&
+               first_use == o.first_use && fixed_end == o.fixed_end &&
+               lg_begin == o.lg_begin && lg_end == o.lg_end;
+    }
+
     /** "WA", "IC2", "OE1"-style label for execution-graph dumps. */
     std::string Label(const Graph &graph) const;
 };
@@ -78,6 +108,13 @@ struct TileInfo {
     Region region;       ///< ofmap region computed (halo included)
     TileCost cost;
     std::vector<int> need_loads;  ///< tensor ids to complete before start
+
+    bool operator==(const TileInfo &o) const
+    {
+        return layer == o.layer && flg == o.flg && lg == o.lg &&
+               round == o.round && region == o.region && cost == o.cost &&
+               need_loads == o.need_loads;
+    }
 };
 
 /** GBUF bytes held during tile-position slots [from, to). */
@@ -86,6 +123,12 @@ struct OnchipInterval {
     TilePos to = 0;
     Bytes bytes = 0;
     LayerId producer = kNoLayer;
+
+    bool operator==(const OnchipInterval &o) const
+    {
+        return from == o.from && to == o.to && bytes == o.bytes &&
+               producer == o.producer;
+    }
 };
 
 /**
@@ -123,15 +166,54 @@ struct ParsedSchedule {
  * parses thousands of candidate LFAs; keeping one scratch per search
  * thread (EvalContext owns one) lets consecutive parses reuse the
  * per-layer and per-tensor containers instead of reallocating them.
+ *
+ * The scratch additionally carries the *group memo* behind the
+ * incremental parse: the expensive per-FLG work (halo-propagated
+ * tiling + per-tile core-array costs) is cached by the group's content
+ * signature (ordered layer sequence, Tiling Number). An LFA operator
+ * touches at most two fused groups, so consecutive parses re-derive
+ * only the dirty groups and reuse every clean group's block verbatim —
+ * cheap global passes (tile positions, DRAM tensors, intervals) are
+ * rebuilt every time, which keeps the result bit-identical to a full
+ * parse (ParseOptions::cross_check asserts this).
  */
 struct ParseScratch {
+    /** One fused group's memoized parse block. `layers`/`tiles` are the
+     *  full key (signature hashes are collision-checked); `costs` is
+     *  round-major: costs[t * layers.size() + i] belongs to layers[i]
+     *  at tile round t. Blocks are content-addressed pure values. */
+    struct GroupParse {
+        std::vector<LayerId> layers;
+        int tiles = 0;
+        std::shared_ptr<const FlgTiling> tiling;
+        std::vector<TileCost> costs;
+    };
+
     std::vector<int> flg_of_layer, lg_of_layer, idx_in_flg;
     std::vector<std::vector<LayerId>> flg_layers;
-    std::vector<FlgTiling> tilings;
+    std::vector<const GroupParse *> groups;  ///< per-FLG view, this parse
     std::vector<std::vector<TilePos>> pos_of;
     std::vector<TilePos> lg_first, lg_last;
     std::vector<DramTensor> tensors;
     std::vector<int> count;
+
+    /** Signature-keyed group memo (cleared wholesale beyond the cap).
+     *  Blocks are only valid for one (graph, evaluator) pair — layer
+     *  ids restart at 0 in every graph — so ParseLfaInto drops the
+     *  memo whenever either identity changes (tracked below, same
+     *  pointer-identity convention as EvalContext's incremental base). */
+    std::unordered_map<std::uint64_t, GroupParse> group_memo;
+    /** Per-parse home for blocks whose signature collided with a
+     *  different resident group (never evict mid-parse). */
+    std::vector<std::unique_ptr<GroupParse>> group_overflow;
+    static constexpr std::size_t kGroupMemoCap = 1 << 12;
+    const void *memo_graph = nullptr;  ///< graph the memo describes
+    const void *memo_eval = nullptr;   ///< evaluator the costs came from
+
+    /** Dirty-set telemetry of the most recent ParseLfaInto call: groups
+     *  re-derived vs reused. Exposed for tests and benches. */
+    int last_dirty_groups = 0;
+    int last_clean_groups = 0;
 };
 
 /**
@@ -147,13 +229,24 @@ ParsedSchedule ParseLfa(const Graph &graph, const LfaEncoding &lfa,
                         const ParseOptions &popts = {});
 
 /**
- * Allocation-lean ParseLfa: writes into @p out and draws intermediate
- * storage from @p scratch, both of which retain their capacity across
- * calls.
+ * Allocation-lean, incremental ParseLfa: writes into @p out and draws
+ * intermediate storage (including the group memo) from @p scratch, both
+ * of which retain their state across calls. When @p tiling_cache is
+ * given, dirty groups fetch their FlgTiling through it, sharing the
+ * halo-propagation work across every search chain of a stage.
  */
 void ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
                   CoreArrayEvaluator &core_eval, const ParseOptions &popts,
-                  ParseScratch *scratch, ParsedSchedule *out);
+                  ParseScratch *scratch, ParsedSchedule *out,
+                  TilingCache *tiling_cache = nullptr);
+
+/**
+ * Bit-exact equality of two parse results (every tile, tensor and
+ * interval field, including cost doubles). The contract the incremental
+ * parse upholds against the from-scratch parse.
+ */
+bool ParsedSchedulesIdentical(const ParsedSchedule &a,
+                              const ParsedSchedule &b);
 
 /** Reusable storage for the scratch-based DlsaValid overload. */
 struct DlsaCheckScratch {

@@ -20,6 +20,13 @@ RunBufferAllocatedSearch(const Graph &graph, const HardwareConfig &hw,
     CoreArrayEvaluator core_eval(graph, hw);
     const Ops total_ops = graph.TotalOps();
 
+    // One tiling memo for the whole search: the outer iterations only
+    // vary the stage budget, which tilings do not depend on, so every
+    // iteration after the first starts with a warm cache.
+    LfaStageOptions lfa_opts_shared = lfa_opts;
+    if (!lfa_opts_shared.tiling_cache)
+        lfa_opts_shared.tiling_cache = std::make_shared<TilingCache>();
+
     // Keep the result well-formed even if no valid scheme is ever found
     // (reports stay invalid; encodings stay consistent).
     best.lfa = MakeInitialLfa(graph, hw, lfa_opts.tiling_cap);
@@ -46,7 +53,7 @@ RunBufferAllocatedSearch(const Graph &graph, const HardwareConfig &hw,
         }
 
         LfaStageResult s1 = RunLfaStage(graph, hw, core_eval, stage_budget,
-                                        lfa_opts, rng);
+                                        lfa_opts_shared, rng);
         AccumulateSaStats(&best.lfa_stats, s1.stats);
         if (!s1.report.valid) {
             SOMA_INFO << "buffer allocator iter " << iter

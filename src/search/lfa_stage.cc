@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "search/dlsa_heuristics.h"
@@ -9,6 +11,22 @@
 #include "sim/evaluator.h"
 
 namespace soma {
+
+namespace {
+
+/** SOMA_LFA_CROSS_CHECK=1 turns the per-candidate parse cross-check on
+ *  process-wide (read once; the flag is a debug switch, not a knob). */
+bool
+CrossCheckFromEnv()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("SOMA_LFA_CROSS_CHECK");
+        return v && *v && std::strcmp(v, "0") != 0;
+    }();
+    return enabled;
+}
+
+}  // namespace
 
 bool
 MutateOrderMoveLayer(const Graph &graph, std::vector<LayerId> *order,
@@ -154,16 +172,25 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
 {
     const Ops total_ops = graph.TotalOps();
 
+    // The stage-wide caches: one tiling memo and one tile-cost memo
+    // shared by the serial seeding pass and every annealing chain.
+    // Both are content-addressed pure-value caches, so sharing them
+    // never perturbs per-seed determinism.
+    std::shared_ptr<TilingCache> tiling_cache = opts.tiling_cache;
+    if (!tiling_cache) tiling_cache = std::make_shared<TilingCache>();
+    ParseOptions popts;
+    popts.cross_check = opts.cross_check || CrossCheckFromEnv();
+
     // One evaluation = parse + classical double-buffer DLSA (lazy
     // fallback under tight budgets). The context keeps parse and
-    // timeline scratch alive across candidates; @p ce must be the
-    // chain's own CoreArrayEvaluator (its memo is not thread safe).
-    auto eval_with = [&graph, &hw, stage_budget, total_ops,
+    // timeline scratch (and the incremental group memo) alive across
+    // candidates; @p ctx and @p ce are per-chain, their caches shared.
+    auto eval_with = [&graph, &hw, stage_budget, total_ops, popts,
                       n = opts.cost_n, m = opts.cost_m](
                          EvalContext &ctx, CoreArrayEvaluator &ce,
                          DlsaEncoding &dlsa_scratch,
                          const LfaEncoding &lfa) -> double {
-        const ParsedSchedule &parsed = ctx.Parse(graph, lfa, ce);
+        const ParsedSchedule &parsed = ctx.Parse(graph, lfa, ce, popts);
         if (!parsed.valid) return std::numeric_limits<double>::infinity();
         MakeDoubleBufferDlsaInto(parsed, &dlsa_scratch);
         {
@@ -181,6 +208,7 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
     };
 
     EvalContext serial_ctx;
+    serial_ctx.set_tiling_cache(tiling_cache);
     DlsaEncoding serial_dlsa;
     auto evaluate = [&](const LfaEncoding &lfa) -> double {
         return eval_with(serial_ctx, core_eval, serial_dlsa, lfa);
@@ -227,12 +255,16 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
     sa.iterations = std::min(opts.max_iterations,
                              opts.beta * graph.NumLayers());
 
-    // Anneal K chains; each owns a CoreArrayEvaluator (the tile-cost
-    // memo is per-thread) and an EvalContext of parse/eval scratch.
+    // Anneal K chains; each owns an EvalContext of parse/eval scratch
+    // and a CoreArrayEvaluator, but all evaluators share the stage's
+    // tile-cost memo and all contexts the stage's tiling cache — every
+    // chain starts warm instead of rebuilding both caches from zero.
     auto make_env = [&](int /*chain*/) {
         ChainEnv<LfaEncoding> env;
-        auto ce = std::make_shared<CoreArrayEvaluator>(graph, hw);
+        auto ce = std::make_shared<CoreArrayEvaluator>(graph, hw,
+                                                       core_eval.memo());
         auto ctx = std::make_shared<EvalContext>();
+        ctx->set_tiling_cache(tiling_cache);
         auto dlsa = std::make_shared<DlsaEncoding>();
         env.mutate = [&graph, cap = opts.tiling_cap](const LfaEncoding &cur,
                                                      LfaEncoding *next,

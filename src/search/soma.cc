@@ -30,13 +30,16 @@ QuickSomaOptions(std::uint64_t seed)
 SomaOptions
 DefaultSomaOptions(std::uint64_t seed)
 {
+    // Raised from (40/6000, 40/8000) once the incremental LFA pipeline
+    // (group-memoized parse + shared tiling/tile-cost caches) lifted
+    // candidates/s — see bench_sa_throughput's lfa rows and DESIGN.md.
     SomaOptions opts;
     opts.seed = seed;
     opts.driver.chains = 4;
-    opts.lfa.beta = 40;
-    opts.lfa.max_iterations = 6000;
-    opts.dlsa.beta = 40;
-    opts.dlsa.max_iterations = 8000;
+    opts.lfa.beta = 60;
+    opts.lfa.max_iterations = 12000;
+    opts.dlsa.beta = 200;
+    opts.dlsa.max_iterations = 24000;
     opts.alloc.max_iterations = 3;
     return opts;
 }
@@ -44,11 +47,14 @@ DefaultSomaOptions(std::uint64_t seed)
 SomaOptions
 FullSomaOptions(std::uint64_t seed)
 {
+    // The paper's budgets (Sec. V-C): beta_1 = 100, beta_2 = 1000.
+    // The caps only guard degenerate workloads (thousands of layers /
+    // tensors); typical graphs stay under them.
     SomaOptions opts = DefaultSomaOptions(seed);
     opts.lfa.beta = 100;
-    opts.lfa.max_iterations = 20000;
-    opts.dlsa.beta = 100;
-    opts.dlsa.max_iterations = 30000;
+    opts.lfa.max_iterations = 50000;
+    opts.dlsa.beta = 1000;
+    opts.dlsa.max_iterations = 150000;
     opts.alloc.max_iterations = 5;
     return opts;
 }

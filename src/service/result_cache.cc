@@ -21,6 +21,19 @@ ResultCache::PathFor(std::uint64_t fingerprint) const
     return options_.persist_dir + "/" + HexU64(fingerprint) + ".json";
 }
 
+namespace {
+
+/** Version header prepended to persisted entries. The payload after
+ *  the newline is the exact result text a cold run serialized, so the
+ *  cached == recomputed byte-for-byte contract is untouched. */
+std::string
+VersionHeader(std::uint64_t version)
+{
+    return "somacache " + std::to_string(version) + "\n";
+}
+
+}  // namespace
+
 bool
 ResultCache::LoadFromDisk(std::uint64_t fingerprint, std::string *text)
 {
@@ -30,8 +43,24 @@ ResultCache::LoadFromDisk(std::uint64_t fingerprint, std::string *text)
     std::ostringstream ss;
     ss << in.rdbuf();
     if (!in.good() && !in.eof()) return false;
-    *text = ss.str();
-    return !text->empty();
+    std::string raw = ss.str();
+    // Entries from another schema/behaviour version — including the
+    // header-less files of pre-versioning builds — are stale: a search
+    // under this binary could produce different bytes, so they load as
+    // misses and get overwritten by the next Put. Only files that do
+    // carry a version header count as version_mismatches; anything
+    // else (truncated writes, foreign files) is a plain miss, so the
+    // counter measures version skew, not corruption.
+    static constexpr char kMagic[] = "somacache ";
+    const std::string header = VersionHeader(options_.version);
+    if (raw.size() > header.size() &&
+        raw.compare(0, header.size(), header) == 0) {
+        *text = raw.substr(header.size());
+        return !text->empty();
+    }
+    if (raw.compare(0, sizeof(kMagic) - 1, kMagic) == 0)
+        ++stats_.version_mismatches;
+    return false;
 }
 
 void
@@ -97,7 +126,7 @@ ResultCache::Put(std::uint64_t fingerprint, const std::string &result_json)
     }
     const std::string path = PathFor(fingerprint);
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!(out << result_json)) {
+    if (!(out << VersionHeader(options_.version) << result_json)) {
         SOMA_WARN << "result cache: cannot write " << path;
         return;
     }

@@ -22,6 +22,21 @@
 
 namespace soma {
 
+/**
+ * Schema/build-behaviour version stamped into every persisted cache
+ * entry. Request fingerprints assume the binary's search behaviour is
+ * fixed, so any build that changes what a request computes — search
+ * budgets, SA operators, evaluator semantics, result serialization —
+ * MUST bump this: on-disk entries written by other versions then load
+ * as misses (and are overwritten on the next Put) instead of replaying
+ * stale results.
+ *
+ * History: 1 = the first persisted format (PR 3, unversioned header-
+ * less files — every versioned build loads them as misses);
+ * 2 = incremental LFA pipeline + raised default/full search budgets.
+ */
+inline constexpr std::uint64_t kResultCacheSchemaVersion = 2;
+
 class ResultCache {
   public:
     struct Options {
@@ -30,6 +45,9 @@ class ResultCache {
         /** When non-empty: write-through persistence directory (created
          *  on first use; one `<fingerprint-hex>.json` per entry). */
         std::string persist_dir;
+        /** Version stamped into persisted entries; entries carrying any
+         *  other version (or none) are ignored on load. */
+        std::uint64_t version = kResultCacheSchemaVersion;
     };
 
     /** Counters since construction (disk_hits are also counted as
@@ -41,6 +59,8 @@ class ResultCache {
         std::uint64_t insertions = 0;
         std::uint64_t disk_hits = 0;
         std::uint64_t disk_writes = 0;
+        /** On-disk entries skipped for carrying another version. */
+        std::uint64_t version_mismatches = 0;
     };
 
     ResultCache() : ResultCache(Options{}) {}

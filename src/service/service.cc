@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <chrono>
+#include <iterator>
 #include <utility>
 
 #include "common/hash.h"
@@ -49,6 +50,7 @@ ServiceStats::ToJson() const
     json.Set("searches", Json::U64(searches));
     json.Set("uncacheable", Json::U64(uncacheable));
     json.Set("errors", Json::U64(errors));
+    json.Set("negative_hits", Json::U64(negative_hits));
     Json rc = Json::Object();
     rc.Set("hits", Json::U64(result_cache.hits));
     rc.Set("misses", Json::U64(result_cache.misses));
@@ -56,6 +58,8 @@ ServiceStats::ToJson() const
     rc.Set("insertions", Json::U64(result_cache.insertions));
     rc.Set("disk_hits", Json::U64(result_cache.disk_hits));
     rc.Set("disk_writes", Json::U64(result_cache.disk_writes));
+    rc.Set("version_mismatches",
+           Json::U64(result_cache.version_mismatches));
     json.Set("result_cache", std::move(rc));
     Json gc = Json::Object();
     gc.Set("hits", Json::U64(graph_cache.hits));
@@ -66,11 +70,25 @@ ServiceStats::ToJson() const
 }
 
 SchedulerService::SchedulerService(const ServiceOptions &options)
-    : scheduler_(options.scheduler),
+    : error_ttl_ms_(options.error_ttl_ms),
+      scheduler_(options.scheduler),
       result_cache_(ResultCache::Options{options.result_cache_capacity,
-                                         options.cache_dir}),
+                                         options.cache_dir,
+                                         kResultCacheSchemaVersion}),
       graph_cache_(options.graph_cache_capacity)
 {
+}
+
+const SchedulerService::NegativeEntry *
+SchedulerService::FindNegativeLocked(std::uint64_t fingerprint)
+{
+    auto it = negative_.find(fingerprint);
+    if (it == negative_.end()) return nullptr;
+    if (std::chrono::steady_clock::now() >= it->second.expires) {
+        negative_.erase(it);
+        return nullptr;
+    }
+    return &it->second;
 }
 
 ScheduleResult
@@ -130,6 +148,22 @@ SchedulerService::Schedule(const ScheduleRequest &request,
     std::shared_ptr<Inflight> flight;
     {
         std::unique_lock<std::mutex> lock(mutex_);
+        // Negative memo: a hot failing fingerprint replays its recent
+        // error instead of re-running the whole search (TTL-bounded so
+        // healed registries recover quickly).
+        if (const NegativeEntry *neg = FindNegativeLocked(fingerprint)) {
+            ++stats_.negative_hits;
+            std::string neg_text = neg->text;
+            lock.unlock();
+            ScheduleResult result;
+            std::string err;
+            if (!TryDeserialize(neg_text, &result, &err)) {
+                result = ScheduleResult();
+                result.error = "negative memo corrupt: " + err;
+            }
+            if (result_json) *result_json = std::move(neg_text);
+            return result;
+        }
         auto it = inflight_.find(fingerprint);
         if (it == inflight_.end()) {
             // A leader may have published between the unlocked lookup
@@ -214,6 +248,31 @@ SchedulerService::RunAndPublish(const ScheduleRequest &request,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!result.ok) ++stats_.errors;
+        // Memoize deterministic failures for a short TTL. Cancelled and
+        // deadline-shaped results reflect this caller's QoS — another
+        // request with the same fingerprint could well succeed — so
+        // they never enter the memo.
+        if (error_ttl_ms_ > 0 && !result.ok &&
+            !result.deadline_expired && result.error != "cancelled") {
+            const auto now = std::chrono::steady_clock::now();
+            constexpr std::size_t kNegativeCap = 1024;
+            if (negative_.size() >= kNegativeCap) {
+                // At capacity: sweep expired entries, and if a burst of
+                // distinct failures is still saturating the memo, evict
+                // an arbitrary victim — the memo is best-effort and
+                // TTL-bounded, but its size (and the per-insert work)
+                // must stay bounded too.
+                for (auto it = negative_.begin(); it != negative_.end();) {
+                    it = now >= it->second.expires ? negative_.erase(it)
+                                                  : std::next(it);
+                }
+                if (negative_.size() >= kNegativeCap)
+                    negative_.erase(negative_.begin());
+            }
+            negative_[fingerprint] = NegativeEntry{
+                now + std::chrono::milliseconds(error_ttl_ms_),
+                text};
+        }
         flight->text = text;
         flight->done = true;
         inflight_.erase(fingerprint);

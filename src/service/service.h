@@ -32,6 +32,7 @@
 #ifndef SOMA_SERVICE_SERVICE_H
 #define SOMA_SERVICE_SERVICE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -51,6 +52,18 @@ struct ServiceOptions {
     std::size_t result_cache_capacity = 256;
     std::string cache_dir;
     std::size_t graph_cache_capacity = 64;
+    /**
+     * Negative-result memo TTL. Errors stay uncacheable in the result
+     * cache by design (they are not pure: a registry entry may be added
+     * later), but a hot failing fingerprint — a sweep hammering an
+     * unknown model, a budget no scheme fits — would re-run the full
+     * search on every request. Failed pipelines are therefore memoized
+     * in memory for this many milliseconds and replayed from the memo
+     * while fresh. Cancelled and deadline-truncated results are never
+     * memoized (they reflect the caller's QoS, not the request).
+     * 0 disables the memo.
+     */
+    int error_ttl_ms = 2000;
     /** Options for the wrapped facade (worker pool, driver threads). */
     Scheduler::Options scheduler;
 };
@@ -62,6 +75,7 @@ struct ServiceStats {
     std::uint64_t searches = 0;     ///< pipelines actually executed
     std::uint64_t uncacheable = 0;  ///< inline-graph bypasses
     std::uint64_t errors = 0;       ///< executed pipelines with ok=false
+    std::uint64_t negative_hits = 0;///< served from the error memo
     ResultCache::Stats result_cache;
     GraphCache::Stats graph_cache;
 
@@ -99,18 +113,29 @@ class SchedulerService {
         std::string text;
         std::condition_variable cv;
     };
+    /** One memoized failure (see ServiceOptions::error_ttl_ms). */
+    struct NegativeEntry {
+        std::chrono::steady_clock::time_point expires;
+        std::string text;
+    };
 
     ScheduleResult RunAndPublish(const ScheduleRequest &request,
                                  std::uint64_t fingerprint,
                                  const std::shared_ptr<Inflight> &flight,
                                  std::string *result_json);
 
+    /** The fresh error memo entry for @p fingerprint, if any (prunes an
+     *  expired one). Caller must hold mutex_. */
+    const NegativeEntry *FindNegativeLocked(std::uint64_t fingerprint);
+
+    const int error_ttl_ms_;  ///< ServiceOptions::error_ttl_ms
     Scheduler scheduler_;
     ResultCache result_cache_;
     GraphCache graph_cache_;
 
-    mutable std::mutex mutex_;  ///< stats + inflight map
+    mutable std::mutex mutex_;  ///< stats + inflight + error memo
     std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> inflight_;
+    std::unordered_map<std::uint64_t, NegativeEntry> negative_;
     ServiceStats stats_;
 };
 

@@ -44,7 +44,7 @@ EvalContext::Parse(const Graph &graph, const LfaEncoding &lfa,
 {
     InvalidateBase();
     ParseLfaInto(graph, lfa, core_eval, popts, &parse_scratch_,
-                 &parsed_storage_);
+                 &parsed_storage_, tiling_cache_.get());
     return parsed_storage_;
 }
 

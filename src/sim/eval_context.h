@@ -19,12 +19,14 @@
 #ifndef SOMA_SIM_EVAL_CONTEXT_H
 #define SOMA_SIM_EVAL_CONTEXT_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hw/hardware.h"
 #include "notation/parser.h"
 #include "sim/report.h"
+#include "tiling/tiling_cache.h"
 
 namespace soma {
 
@@ -70,13 +72,29 @@ void ComputeBufferBySlot(const ParsedSchedule &parsed,
 class EvalContext {
   public:
     /**
-     * Parse an LFA with reusable scratch. The returned reference stays
-     * owned by the context and is overwritten by the next Parse call.
-     * Invalidates the incremental base.
+     * Parse an LFA with reusable scratch (including the group memo of
+     * the incremental parse). The returned reference stays owned by the
+     * context and is overwritten by the next Parse call. Invalidates
+     * the incremental base.
      */
     const ParsedSchedule &Parse(const Graph &graph, const LfaEncoding &lfa,
                                 CoreArrayEvaluator &core_eval,
                                 const ParseOptions &popts = {});
+
+    /**
+     * Share a stage-wide TilingCache: subsequent Parse calls fetch
+     * dirty-group tilings through it instead of recomputing them. Pass
+     * nullptr to detach. The cache must describe the graph this context
+     * parses (one cache per search, like the evaluator memo).
+     */
+    void set_tiling_cache(std::shared_ptr<TilingCache> cache)
+    {
+        tiling_cache_ = std::move(cache);
+    }
+    const std::shared_ptr<TilingCache> &tiling_cache() const
+    {
+        return tiling_cache_;
+    }
 
     /**
      * Full evaluation (semantics of EvaluateSchedule) into the context's
@@ -143,6 +161,7 @@ class EvalContext {
 
     ParseScratch parse_scratch_;
     ParsedSchedule parsed_storage_;
+    std::shared_ptr<TilingCache> tiling_cache_;
     DlsaCheckScratch check_scratch_;
     std::string why_scratch_;
 

@@ -1,0 +1,80 @@
+#include "tiling/tiling_cache.h"
+
+#include <mutex>
+
+namespace soma {
+
+std::uint64_t
+GroupKeyHash(const std::vector<LayerId> &layers, int tiles)
+{
+    // FNV-1a over the layer sequence, then the tile count.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (LayerId id : layers) {
+        h ^= static_cast<std::uint64_t>(id);
+        h *= 1099511628211ULL;
+    }
+    h ^= static_cast<std::uint64_t>(tiles);
+    h *= 1099511628211ULL;
+    return h;
+}
+
+std::size_t
+TilingCache::KeyHash::operator()(const Key &k) const
+{
+    return static_cast<std::size_t>(GroupKeyHash(k.layers, k.tiles));
+}
+
+TilingCache::Shard &
+TilingCache::ShardFor(const Key &key) const
+{
+    return shards_[KeyHash{}(key) % kShards];
+}
+
+std::shared_ptr<const FlgTiling>
+TilingCache::Get(const Graph &graph, const std::vector<LayerId> &flg_layers,
+                 int tiles)
+{
+    Key key{flg_layers, tiles};
+    Shard &shard = ShardFor(key);
+    {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            shard.hits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    auto tiling = std::make_shared<const FlgTiling>(
+        ComputeFlgTiling(graph, flg_layers, tiles));
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    if (shard.map.size() >= kMaxEntriesPerShard) shard.map.clear();
+    // A racing thread may have published first; both computed the same
+    // pure value, so return whichever landed.
+    return shard.map.emplace(std::move(key), std::move(tiling))
+        .first->second;
+}
+
+TilingCache::Stats
+TilingCache::stats() const
+{
+    Stats out;
+    for (const Shard &shard : shards_) {
+        out.hits += shard.hits.load(std::memory_order_relaxed);
+        out.misses += shard.misses.load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+std::size_t
+TilingCache::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        total += shard.map.size();
+    }
+    return total;
+}
+
+}  // namespace soma

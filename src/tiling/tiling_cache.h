@@ -1,0 +1,101 @@
+/**
+ * @file
+ * TilingCache: a thread-safe memo of ComputeFlgTiling results.
+ *
+ * The LFA stage's SA loop re-parses a whole scheme per candidate, and
+ * the dominant cost of each parse is the per-FLG backward halo
+ * propagation (O(layers x tiles x consumers) region math). A mutation
+ * touches at most two fused groups, so the tilings of every other group
+ * are recomputed verbatim — this cache keys them by (ordered layer
+ * sequence of the group, Tiling Number) and hands the stored result
+ * back as a shared immutable FlgTiling.
+ *
+ * One cache is shared by all SearchDriver chains of a search (and
+ * across the Buffer Allocator's outer iterations): ComputeFlgTiling is
+ * a pure function of (graph, layers, tiles), so a hit returns the same
+ * value no matter which chain inserted it — sharing never perturbs
+ * per-seed determinism. Keys carry the full layer sequence (no lossy
+ * hashing); lookups take a shared lock, misses compute outside the
+ * lock and publish under an exclusive one.
+ *
+ * A cache instance is bound to the graph of the first Get call purely
+ * by convention: keys do not encode the graph, so use one cache per
+ * (graph, search) like the evaluator memo.
+ */
+#ifndef SOMA_TILING_TILING_CACHE_H
+#define SOMA_TILING_TILING_CACHE_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "tiling/tiler.h"
+
+namespace soma {
+
+/**
+ * FNV-1a fold over a fused group's content key (ordered layer
+ * sequence, tile count) — the one hash behind TilingCache's shards and
+ * the parser's group-memo signatures (both collision-check against the
+ * full key).
+ */
+std::uint64_t GroupKeyHash(const std::vector<LayerId> &layers, int tiles);
+
+class TilingCache {
+  public:
+    /** Hit/miss counters since construction (clears reset them). */
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    /**
+     * The tiling of @p flg_layers (in computing order) at @p tiles,
+     * computed through ComputeFlgTiling on a miss. The result is
+     * immutable and shared; invalid tilings (infeasible tile counts)
+     * are cached too — the SA walk re-proposes them often.
+     */
+    std::shared_ptr<const FlgTiling> Get(
+        const Graph &graph, const std::vector<LayerId> &flg_layers,
+        int tiles);
+
+    Stats stats() const;
+    std::size_t size() const;
+
+    /** Entry cap per shard; beyond it the shard is dropped wholesale
+     *  (values are pure, so re-computation is always safe). */
+    static constexpr std::size_t kMaxEntriesPerShard = 1 << 12;
+
+  private:
+    struct Key {
+        std::vector<LayerId> layers;
+        int tiles = 0;
+        bool operator==(const Key &o) const
+        {
+            return tiles == o.tiles && layers == o.layers;
+        }
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key &k) const;
+    };
+    static constexpr int kShards = 8;
+    struct Shard {
+        mutable std::shared_mutex mutex;
+        std::unordered_map<Key, std::shared_ptr<const FlgTiling>, KeyHash>
+            map;
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+    };
+
+    Shard &ShardFor(const Key &key) const;
+
+    mutable std::array<Shard, kShards> shards_;
+};
+
+}  // namespace soma
+
+#endif  // SOMA_TILING_TILING_CACHE_H

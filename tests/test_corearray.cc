@@ -142,5 +142,35 @@ TEST(CoreArray, CloudFasterThanEdge)
               edge.Evaluate(0, full).seconds);
 }
 
+TEST(CoreArray, SharedMemoWarmsSiblingEvaluators)
+{
+    Graph g = MakeConvNet(32, 16);
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator first(g, hw);
+    Region full = g.layer(0).FullRegion(1);
+    const TileCost cost = first.Evaluate(0, full);
+    const std::size_t warmed = first.memo()->size();
+    EXPECT_GT(warmed, 0u);
+
+    // A sibling sharing the memo starts warm and returns the identical
+    // entry (the SearchDriver chains rely on exactly this).
+    CoreArrayEvaluator sibling(g, hw, first.memo());
+    EXPECT_EQ(sibling.memo().get(), first.memo().get());
+    EXPECT_EQ(sibling.Evaluate(0, full), cost);
+    EXPECT_EQ(sibling.memo()->size(), warmed);
+}
+
+TEST(CoreArray, MemoKeyIsExactOverExtents)
+{
+    // Same extents at different offsets share one entry; different
+    // extents never collide (the key packs them exactly).
+    Region a{0, 1, 0, 8, 0, 8};
+    Region b{0, 1, 8, 16, 8, 16};
+    Region c{0, 1, 0, 8, 0, 9};
+    EXPECT_EQ(TileCostMemo::Key(3, a), TileCostMemo::Key(3, b));
+    EXPECT_NE(TileCostMemo::Key(3, a), TileCostMemo::Key(3, c));
+    EXPECT_NE(TileCostMemo::Key(3, a), TileCostMemo::Key(4, a));
+}
+
 }  // namespace
 }  // namespace soma

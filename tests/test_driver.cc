@@ -14,6 +14,7 @@
 #include "search/dlsa_heuristics.h"
 #include "search/dlsa_stage.h"
 #include "search/driver.h"
+#include "search/lfa_stage.h"
 #include "search/soma.h"
 #include "sim/evaluator.h"
 #include "workload/graph_builder.h"
@@ -196,6 +197,44 @@ TEST(DlsaStageDriver, DeterministicAcrossThreadCounts)
     EXPECT_EQ(a.dlsa.order, b.dlsa.order);
     EXPECT_EQ(a.dlsa.free_point, b.dlsa.free_point);
     EXPECT_EQ(a.report.latency, b.report.latency);
+}
+
+TEST(LfaStageDriver, SharedMemoDeterministicAcrossThreadCounts)
+{
+    // The LFA stage's chains share one TileCostMemo and one TilingCache
+    // (plus per-context group memos). All three are content-addressed
+    // pure-value caches, so insertion order — which varies with thread
+    // scheduling — must never leak into the result.
+    Graph g = MakeDriverNet();
+    HardwareConfig hw = EdgeAccelerator();
+
+    LfaStageOptions opts;
+    opts.beta = 10;
+    opts.max_iterations = 400;
+    opts.driver.chains = 3;
+
+    opts.driver.threads = 1;
+    CoreArrayEvaluator ce1(g, hw);
+    Rng r1(13);
+    LfaStageResult a =
+        RunLfaStage(g, hw, ce1, hw.gbuf_bytes, opts, r1);
+
+    opts.driver.threads = 4;
+    CoreArrayEvaluator ce2(g, hw);
+    Rng r2(13);
+    LfaStageResult b =
+        RunLfaStage(g, hw, ce2, hw.gbuf_bytes, opts, r2);
+
+    ASSERT_TRUE(a.report.valid);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.lfa.order, b.lfa.order);
+    EXPECT_EQ(a.lfa.flc_cuts, b.lfa.flc_cuts);
+    EXPECT_EQ(a.lfa.dram_cuts, b.lfa.dram_cuts);
+    EXPECT_EQ(a.lfa.tiling, b.lfa.tiling);
+    EXPECT_EQ(a.report.latency, b.report.latency);
+    // Chains actually shared the stage memo: it outlived make_env and
+    // holds every shape the winning chain ever costed.
+    EXPECT_GT(ce1.memo()->size(), 0u);
 }
 
 TEST(RunSomaDriver, DeterministicAcrossThreadCounts)

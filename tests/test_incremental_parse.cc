@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Incremental LFA parse tests: the group-memoized ParseLfaInto (with
+ * and without a shared TilingCache) must be bit-identical to the
+ * from-scratch parse over randomized LFA mutation chains — every tile,
+ * tensor and on-chip interval, and the downstream EvalReport — and the
+ * dirty set must actually shrink to the mutated groups.
+ */
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "search/dlsa_heuristics.h"
+#include "search/lfa_stage.h"
+#include "sim/eval_context.h"
+#include "sim/evaluator.h"
+#include "tiling/tiling_cache.h"
+#include "workload/graph_builder.h"
+
+namespace soma {
+namespace {
+
+/** A residual-ish graph: branches give order mutations room to move. */
+Graph
+MakeBranchy()
+{
+    GraphBuilder b("branchy", 1);
+    LayerId stem = b.InputConv("stem", ExtShape{3, 32, 32}, 32, 3, 1, 1);
+    LayerId a1 = b.Conv("a1", stem, 32, 3, 1, 1);
+    LayerId a2 = b.Conv("a2", a1, 32, 3, 1, 1);
+    LayerId skip = b.Eltwise("skip", {stem, a2});
+    LayerId b1 = b.Conv("b1", skip, 64, 3, 2, 1);
+    LayerId b2 = b.Conv("b2", b1, 64, 3, 1, 1);
+    LayerId c1 = b.Conv("c1", skip, 64, 1, 2, 0);
+    LayerId join = b.Eltwise("join", {b2, c1});
+    LayerId head = b.Conv("head", join, 96, 3, 1, 1);
+    b.MarkOutput(head);
+    return b.Take();
+}
+
+void
+ExpectReportsIdentical(const EvalReport &a, const EvalReport &b)
+{
+    ASSERT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.why_invalid, b.why_invalid);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.core_energy_j, b.core_energy_j);
+    EXPECT_EQ(a.dram_energy_j, b.dram_energy_j);
+    EXPECT_EQ(a.peak_buffer, b.peak_buffer);
+    EXPECT_EQ(a.avg_buffer, b.avg_buffer);
+    EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+    EXPECT_EQ(a.num_tiles, b.num_tiles);
+    EXPECT_EQ(a.num_tensors, b.num_tensors);
+}
+
+/**
+ * Random LFA mutation chain. Every candidate is parsed through the
+ * incremental context (warm group memo) and from scratch; both parses
+ * and the resulting double-buffer evaluations must match bit for bit.
+ */
+void
+RunParseWalk(bool with_tiling_cache, std::uint64_t seed, int steps)
+{
+    Graph g = MakeBranchy();
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator ce(g, hw);
+    const Ops ops = g.TotalOps();
+
+    EvalContext ctx;
+    if (with_tiling_cache)
+        ctx.set_tiling_cache(std::make_shared<TilingCache>());
+
+    LfaEncoding current = MakeInitialLfa(g, hw, 16);
+    Rng rng(seed);
+    LfaEncoding cand;
+    int parsed_valid = 0;
+    for (int i = 0; i < steps; ++i) {
+        if (!MutateLfaEncoding(g, current, &cand, 16, rng)) continue;
+        const ParsedSchedule &inc = ctx.Parse(g, cand, ce);
+        // Reference: fresh scratch, no memo, no shared cache.
+        ParsedSchedule full = ParseLfa(g, cand, ce);
+        ASSERT_TRUE(ParsedSchedulesIdentical(inc, full))
+            << "step " << i << ": " << cand.ToString(g);
+        if (inc.valid) {
+            ++parsed_valid;
+            DlsaEncoding dlsa = MakeDoubleBufferDlsa(inc);
+            const EvalReport &inc_rep =
+                ctx.Evaluate(g, hw, inc, dlsa, hw.gbuf_bytes, ops);
+            EvalReport full_rep =
+                EvaluateSchedule(g, hw, full, dlsa, hw.gbuf_bytes, ops);
+            ExpectReportsIdentical(inc_rep, full_rep);
+            if (rng.Flip()) current = cand;
+        }
+    }
+    EXPECT_GT(parsed_valid, steps / 4);
+}
+
+TEST(IncrementalParse, MatchesFullParseOverMutationChain)
+{
+    RunParseWalk(/*with_tiling_cache=*/false, 11, 300);
+}
+
+TEST(IncrementalParse, MatchesFullParseWithSharedTilingCache)
+{
+    RunParseWalk(/*with_tiling_cache=*/true, 23, 300);
+}
+
+TEST(IncrementalParse, CrossCheckModeAcceptsTheWalk)
+{
+    // ParseOptions::cross_check re-parses from scratch inside
+    // ParseLfaInto and aborts on divergence: surviving a randomized
+    // walk is the debug-mode proof the bench/CI path relies on.
+    Graph g = MakeBranchy();
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator ce(g, hw);
+    EvalContext ctx;
+    ctx.set_tiling_cache(std::make_shared<TilingCache>());
+    ParseOptions popts;
+    popts.cross_check = true;
+
+    LfaEncoding current = MakeInitialLfa(g, hw, 16);
+    Rng rng(37);
+    LfaEncoding cand;
+    for (int i = 0; i < 120; ++i) {
+        if (!MutateLfaEncoding(g, current, &cand, 16, rng)) continue;
+        const ParsedSchedule &p = ctx.Parse(g, cand, ce, popts);
+        if (p.valid && rng.Flip()) current = cand;
+    }
+}
+
+TEST(IncrementalParse, DirtySetShrinksToMutatedGroups)
+{
+    // A multi-group scheme: re-parsing after single-group edits must
+    // reuse every untouched group's block.
+    Graph g = MakeBranchy();
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator ce(g, hw);
+
+    LfaEncoding lfa;
+    lfa.order = g.TopoOrder();
+    lfa.flc_cuts = {2, 4, 6};
+    lfa.dram_cuts = {4};
+    lfa.tiling = {2, 2, 2, 2};
+
+    ParseScratch scratch;
+    ParsedSchedule out;
+    ParseLfaInto(g, lfa, ce, ParseOptions{}, &scratch, &out);
+    ASSERT_TRUE(out.valid);
+    EXPECT_EQ(scratch.last_dirty_groups, 4);
+    EXPECT_EQ(scratch.last_clean_groups, 0);
+
+    // Same LFA again: everything clean.
+    ParseLfaInto(g, lfa, ce, ParseOptions{}, &scratch, &out);
+    EXPECT_EQ(scratch.last_dirty_groups, 0);
+    EXPECT_EQ(scratch.last_clean_groups, 4);
+
+    // Tiling scale of group 1: only that group re-derives.
+    LfaEncoding scaled = lfa;
+    scaled.tiling[1] = 4;
+    ParseLfaInto(g, scaled, ce, ParseOptions{}, &scratch, &out);
+    ASSERT_TRUE(out.valid);
+    EXPECT_EQ(scratch.last_dirty_groups, 1);
+    EXPECT_EQ(scratch.last_clean_groups, 3);
+
+    // DRAM-cut toggle: LG structure is not part of any group's
+    // signature, so nothing re-derives.
+    LfaEncoding cut = lfa;
+    cut.dram_cuts = {2, 4};
+    ParseLfaInto(g, cut, ce, ParseOptions{}, &scratch, &out);
+    ASSERT_TRUE(out.valid);
+    EXPECT_EQ(scratch.last_dirty_groups, 0);
+    EXPECT_EQ(scratch.last_clean_groups, 4);
+
+    // Deleting an FLC merges two groups into one new signature: one
+    // dirty group, the other two untouched.
+    LfaEncoding merged = lfa;
+    merged.flc_cuts = {2, 6};
+    merged.dram_cuts.clear();
+    merged.tiling = {2, 2, 2};
+    ParseLfaInto(g, merged, ce, ParseOptions{}, &scratch, &out);
+    ASSERT_TRUE(out.valid);
+    EXPECT_EQ(scratch.last_dirty_groups, 1);
+    EXPECT_EQ(scratch.last_clean_groups, 2);
+}
+
+TEST(IncrementalParse, TilingCacheHitsAcrossContexts)
+{
+    // Two contexts sharing one TilingCache: the second context's first
+    // parse of the same scheme is all cache hits.
+    Graph g = MakeBranchy();
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator ce(g, hw);
+    auto cache = std::make_shared<TilingCache>();
+
+    LfaEncoding lfa = MakeInitialLfa(g, hw, 16);
+    EvalContext a, b;
+    a.set_tiling_cache(cache);
+    b.set_tiling_cache(cache);
+    ParsedSchedule pa = a.Parse(g, lfa, ce);
+    ASSERT_TRUE(pa.valid);
+    const auto cold = cache->stats();
+    EXPECT_GT(cold.misses, 0u);
+    ParsedSchedule pb = b.Parse(g, lfa, ce);
+    const auto warm = cache->stats();
+    EXPECT_EQ(warm.misses, cold.misses);
+    EXPECT_GT(warm.hits, cold.hits);
+    EXPECT_TRUE(ParsedSchedulesIdentical(pa, pb));
+}
+
+}  // namespace
+}  // namespace soma

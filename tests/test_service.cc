@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -176,6 +177,55 @@ TEST(ResultCache, PersistsAcrossInstances)
     EXPECT_EQ(text, "{\"ok\":true}");
     EXPECT_EQ(fresh.stats().disk_hits, 1u);
     EXPECT_EQ(fresh.size(), 1u);  // repopulated into memory
+}
+
+TEST(ResultCache, VersionMismatchInvalidatesPersistedEntries)
+{
+    // A behaviour-changing build bumps kResultCacheSchemaVersion; disk
+    // entries from the old build must load as misses, not replay stale
+    // results computed under different search behaviour.
+    ResultCache::Options v1 = ResultCache::Options{};
+    v1.persist_dir = FreshDir("result_cache_version");
+    v1.version = 1;
+    {
+        ResultCache cache(v1);
+        cache.Put(0x1234ULL, "{\"ok\":true}");
+    }
+    ResultCache::Options v2 = v1;
+    v2.version = 2;
+    ResultCache newer(v2);
+    std::string text;
+    EXPECT_FALSE(newer.Get(0x1234ULL, &text));
+    EXPECT_EQ(newer.stats().version_mismatches, 1u);
+    EXPECT_EQ(newer.stats().misses, 1u);
+
+    // The new build overwrites the stale file; its own restarts hit.
+    newer.Put(0x1234ULL, "{\"ok\":true,\"v\":2}");
+    ResultCache again(v2);
+    ASSERT_TRUE(again.Get(0x1234ULL, &text));
+    EXPECT_EQ(text, "{\"ok\":true,\"v\":2}");
+
+    // And the old build, pointed at the overwritten file, misses too:
+    // versions partition the directory both ways.
+    ResultCache old_again(v1);
+    EXPECT_FALSE(old_again.Get(0x1234ULL, &text));
+}
+
+TEST(ResultCache, LegacyHeaderlessFilesAreMisses)
+{
+    ResultCache::Options options;
+    options.persist_dir = FreshDir("result_cache_legacy");
+    std::filesystem::create_directories(options.persist_dir);
+    ResultCache cache(options);
+    std::ofstream raw(cache.PathFor(0x77ULL), std::ios::binary);
+    raw << "{\"ok\":true}";  // pre-versioning format: no header
+    raw.close();
+    std::string text;
+    EXPECT_FALSE(cache.Get(0x77ULL, &text));
+    // No version header at all is a plain miss, not version skew —
+    // the mismatch counter only tracks files that name a version.
+    EXPECT_EQ(cache.stats().version_mismatches, 0u);
+    EXPECT_EQ(cache.stats().misses, 1u);
 }
 
 // ------------------------------------------------------------ GraphCache
@@ -406,6 +456,68 @@ TEST(Service, CoalescedWaiterHonorsItsOwnDeadline)
     leader.join();
     EXPECT_EQ(service->stats().searches, 1u);
 }
+
+// --------------------------------------------------- negative-result TTL
+
+TEST(Service, NegativeMemoShieldsHotFailingFingerprints)
+{
+    ServiceOptions options;
+    options.error_ttl_ms = 60000;  // never expires within the test
+    auto service = MakeService(options);
+    ScheduleRequest request = TinyRequest(1);
+    request.model = "no-such-model";
+
+    ScheduleResult first = service->Schedule(request);
+    EXPECT_FALSE(first.ok);
+    std::string text;
+    ScheduleResult second = service->Schedule(request, &text);
+    EXPECT_FALSE(second.ok);
+    EXPECT_EQ(second.error, first.error);
+    EXPECT_FALSE(text.empty());
+
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.searches, 1u);  // the second request ran no search
+    EXPECT_EQ(stats.negative_hits, 1u);
+    EXPECT_EQ(stats.errors, 1u);
+}
+
+TEST(Service, NegativeMemoExpiresAndHealsWithRegistry)
+{
+    ServiceOptions options;
+    options.error_ttl_ms = 1;
+    auto service = MakeService(options);
+    ScheduleRequest request = TinyRequest(2);
+    request.model = "late-model";
+
+    EXPECT_FALSE(service->Schedule(request).ok);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // The registry healed after the memo expired: errors are a TTL
+    // memo, never a permanent cache.
+    service->scheduler().models().Register("late-model", BuildSvcTiny);
+    ScheduleResult healed = service->Schedule(request);
+    EXPECT_TRUE(healed.ok);
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.searches, 2u);
+    EXPECT_EQ(stats.negative_hits, 0u);
+}
+
+TEST(Service, NegativeMemoDisabledByZeroTtl)
+{
+    ServiceOptions options;
+    options.error_ttl_ms = 0;
+    auto service = MakeService(options);
+    ScheduleRequest request = TinyRequest(3);
+    request.model = "no-such-model";
+
+    EXPECT_FALSE(service->Schedule(request).ok);
+    EXPECT_FALSE(service->Schedule(request).ok);
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.searches, 2u);
+    EXPECT_EQ(stats.negative_hits, 0u);
+}
+
+// ----------------------------------------------------------- cancellation
 
 TEST(Cancellation, RunSaWindowStopsIterationGranularly)
 {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "tiling/tiler.h"
+#include "tiling/tiling_cache.h"
 #include "workload/graph_builder.h"
 
 namespace soma {
@@ -234,6 +235,61 @@ TEST(HeuristicTiles, MinOverGroupLayers)
     int t_group = HeuristicParallelTiles(g, {c1, c2}, hw);
     int t_c2 = HeuristicParallelTiles(g, {c2}, hw);
     EXPECT_LE(t_group, t_c2);
+}
+
+// ------------------------------------------------------------ TilingCache
+
+TEST(TilingCache, ReturnsComputeFlgTilingValues)
+{
+    GraphBuilder b("tc", 1);
+    LayerId c1 = b.InputConv("c1", ExtShape{3, 32, 32}, 16, 3, 1, 1);
+    LayerId c2 = b.Conv("c2", c1, 16, 3, 1, 1);
+    b.MarkOutput(c2);
+    Graph g = b.Take();
+
+    TilingCache cache;
+    const std::vector<LayerId> layers{c1, c2};
+    auto cached = cache.Get(g, layers, 4);
+    FlgTiling direct = ComputeFlgTiling(g, layers, 4);
+    ASSERT_TRUE(cached->valid);
+    ASSERT_TRUE(direct.valid);
+    EXPECT_EQ(cached->split.Total(), direct.split.Total());
+    ASSERT_EQ(cached->regions.size(), direct.regions.size());
+    for (std::size_t i = 0; i < direct.regions.size(); ++i) {
+        ASSERT_EQ(cached->regions[i].size(), direct.regions[i].size());
+        for (std::size_t t = 0; t < direct.regions[i].size(); ++t)
+            EXPECT_EQ(cached->regions[i][t], direct.regions[i][t]);
+    }
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    // Same key: one shared immutable value, counted as a hit.
+    auto again = cache.Get(g, layers, 4);
+    EXPECT_EQ(again.get(), cached.get());
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // Infeasible tilings are cached too (the SA walk re-proposes them).
+    auto bad = cache.Get(g, layers, 5000);
+    EXPECT_FALSE(bad->valid);
+    EXPECT_EQ(cache.Get(g, layers, 5000).get(), bad.get());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TilingCache, DistinguishesLayerOrderAndTileCount)
+{
+    GraphBuilder b("tc2", 1);
+    LayerId c1 = b.InputConv("c1", ExtShape{3, 16, 16}, 8, 3, 1, 1);
+    LayerId c2 = b.Conv("c2", c1, 8, 3, 1, 1);
+    b.MarkOutput(c2);
+    Graph g = b.Take();
+
+    TilingCache cache;
+    auto a = cache.Get(g, {c1, c2}, 2);
+    auto b2 = cache.Get(g, {c1, c2}, 4);
+    auto c = cache.Get(g, {c2}, 2);
+    EXPECT_NE(a.get(), b2.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(cache.stats().misses, 3u);
 }
 
 }  // namespace

@@ -53,7 +53,8 @@ Usage(std::ostream &os, int code)
           "            [--outdir DIR] [--quiet]\n"
           "  somac sweep spec.json [--csv FILE] [--json FILE]\n"
           "            [--stats FILE] [--cache-dir DIR]\n"
-          "            [--cache-capacity N] [--jobs N] [--quiet]\n"
+          "            [--cache-capacity N] [--jobs N] [--shard I/N]\n"
+          "            [--quiet]\n"
           "  somac fingerprint request.json [--canonical]\n"
           "  somac list models|hardware|schedulers\n"
           "  somac validate result.json\n"
@@ -86,6 +87,11 @@ Usage(std::ostream &os, int code)
           "  \"schedulers\": [...], \"profiles\": [...], \"seeds\": [...]}\n"
           "Missing axes inherit the base request's value. The CSV table\n"
           "is deterministic: same spec + warm cache => identical bytes.\n"
+          "--shard I/N keeps every N-th grid point starting at I\n"
+          "(0 <= I < N) so N processes/machines can split one sweep;\n"
+          "point every shard's --cache-dir at one shared directory and\n"
+          "the shards' row sets partition the unsharded sweep's table\n"
+          "(equal rows, interleaved order).\n"
           "\n"
           "fingerprint prints the request's canonical 64-bit identity\n"
           "(the service-layer cache key) as 16 hex digits;\n"
@@ -717,11 +723,33 @@ constexpr const char *kSweepCsvHeader =
     "fingerprint,model,batch,hardware,gbuf_bytes,dram_gbps,scheduler,"
     "profile,seed,status,cost,latency,energy_j,dram_bytes,iterations";
 
+/** Parse "I/N" (0 <= I < N) for --shard. */
+bool
+ParseShardArg(const std::string &text, int *index, int *count)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size()) {
+        std::cerr << "--shard: \"" << text << "\" is not of the form I/N\n";
+        return false;
+    }
+    if (!ParseIntArg("--shard", text.substr(0, slash), index) ||
+        !ParseIntArg("--shard", text.substr(slash + 1), count)) {
+        return false;
+    }
+    if (*count < 1 || *index < 0 || *index >= *count) {
+        std::cerr << "--shard: need 0 <= I < N, got " << text << "\n";
+        return false;
+    }
+    return true;
+}
+
 int
 CmdSweep(const std::vector<std::string> &args)
 {
     std::string spec_path, csv_path, json_path, stats_path, cache_dir;
     int cache_capacity = 0, jobs = 2;
+    int shard_index = 0, shard_count = 1;
     bool quiet = false;
 
     auto need_value = [&args](std::size_t i, const std::string &flag)
@@ -762,6 +790,10 @@ CmdSweep(const std::vector<std::string> &args)
             if (!(v = need_value(i, arg))) return 2;
             if (!ParseIntArg(arg, *v, &jobs)) return 2;
             ++i;
+        } else if (arg == "--shard") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseShardArg(*v, &shard_index, &shard_count)) return 2;
+            ++i;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -771,7 +803,7 @@ CmdSweep(const std::vector<std::string> &args)
     }
     if (spec_path.empty()) {
         std::cerr << "usage: somac sweep spec.json [--csv FILE] "
-                     "[--stats FILE] [--cache-dir DIR]\n";
+                     "[--stats FILE] [--cache-dir DIR] [--shard I/N]\n";
         return 2;
     }
 
@@ -790,6 +822,28 @@ CmdSweep(const std::vector<std::string> &args)
         std::cerr << spec_path << ": " << err << "\n";
         return 2;
     }
+    const std::size_t grid_size = requests.size();
+    if (shard_count > 1) {
+        // Deterministic work partition: shard I keeps grid points
+        // I, I+N, I+2N, ... of the expansion order. Striding (rather
+        // than contiguous chunks) balances heavy axes — e.g. a sweep
+        // whose slowest model expands first — across the shards.
+        std::vector<ScheduleRequest> mine;
+        mine.reserve((requests.size() + shard_count - 1) / shard_count);
+        for (std::size_t i = shard_index; i < requests.size();
+             i += static_cast<std::size_t>(shard_count)) {
+            mine.push_back(std::move(requests[i]));
+        }
+        requests = std::move(mine);
+        // An empty shard (more shards than grid points) is a valid
+        // partition: the normal path below emits a header-only table,
+        // an empty JSON array and zero stats, and exits 0, so fixed
+        // N-way split scripts work on any grid size.
+        if (requests.empty() && !quiet)
+            std::cerr << "[somac] sweep: shard " << shard_index << "/"
+                      << shard_count << " is empty (grid has "
+                      << grid_size << " points); nothing to do\n";
+    }
 
     ServiceOptions options;
     options.cache_dir = cache_dir;
@@ -798,12 +852,16 @@ CmdSweep(const std::vector<std::string> &args)
             static_cast<std::size_t>(cache_capacity);
     SchedulerService service(options);
 
-    if (!quiet)
-        std::cerr << "[somac] sweep: " << requests.size()
-                  << " requests, jobs=" << jobs
+    if (!quiet) {
+        std::cerr << "[somac] sweep: " << requests.size() << " requests";
+        if (shard_count > 1)
+            std::cerr << " (shard " << shard_index << "/" << shard_count
+                      << " of " << grid_size << ")";
+        std::cerr << ", jobs=" << jobs
                   << (cache_dir.empty() ? ""
                                         : ", cache-dir=" + cache_dir)
                   << "\n";
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<SweepRow> rows(requests.size());
