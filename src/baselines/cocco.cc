@@ -103,7 +103,10 @@ RunCocco(const Graph &graph, const HardwareConfig &hw,
          const CoccoOptions &opts)
 {
     Rng rng(opts.seed);
-    CoreArrayEvaluator core_eval(graph, hw);
+    CoreArrayEvaluator core_eval(
+        graph, hw,
+        opts.warm.tile_costs ? opts.warm.tile_costs
+                             : std::make_shared<TileCostMemo>());
     const Ops total_ops = graph.TotalOps();
 
     // Cocco's conservative buffer semantics: weights stay resident for
@@ -124,7 +127,8 @@ RunCocco(const Graph &graph, const HardwareConfig &hw,
         return rep.Cost(n, m);
     };
 
-    auto tiling_cache = std::make_shared<TilingCache>();
+    auto tiling_cache = opts.warm.tilings ? opts.warm.tilings
+                                          : std::make_shared<TilingCache>();
     EvalContext serial_ctx;
     serial_ctx.set_tiling_cache(tiling_cache);
     auto evaluate = [&](const CoccoState &state) -> double {

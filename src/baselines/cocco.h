@@ -15,6 +15,7 @@
 #include "notation/encoding.h"
 #include "search/driver.h"
 #include "search/sa.h"
+#include "search/warm_state.h"
 #include "sim/report.h"
 
 namespace soma {
@@ -32,6 +33,11 @@ struct CoccoOptions {
      *  laptop-budget comparison about the scheduling space, not the
      *  optimizer budget. */
     bool greedy_seed = true;
+    /** Optional cross-request warm caches (service-injected; see
+     *  warm_state.h). Tilings and tile costs are scheduler-agnostic
+     *  pure values, so Cocco and SoMa requests over one (graph,
+     *  hardware preset) warm each other. */
+    SearchWarmState warm;
     SaOptions sa;
     SearchDriverOptions driver;
 };

@@ -74,6 +74,15 @@ TileCostMemo::size() const
     return total;
 }
 
+std::size_t
+TileCostMemo::ApproxBytes() const
+{
+    // Keys and values are flat structs; fold in a nominal per-node
+    // overhead for the hash map's buckets and links.
+    constexpr std::size_t kNodeOverhead = 2 * sizeof(void *);
+    return size() * (sizeof(TileKey) + sizeof(TileCost) + kNodeOverhead);
+}
+
 CoreArrayEvaluator::CoreArrayEvaluator(const Graph &graph,
                                        const HardwareConfig &hw)
     : CoreArrayEvaluator(graph, hw, std::make_shared<TileCostMemo>())

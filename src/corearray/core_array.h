@@ -44,12 +44,21 @@ struct TileCost {
 /**
  * Sharded read-mostly concurrent memo of tile costs, shared by every
  * CoreArrayEvaluator of one search (all SearchDriver chains warm one
- * memo instead of each starting cold). Keys carry (layer, batches,
- * rows, cols) exactly — no lossy hashing, full equality on lookup —
- * so a hit always returns the cost the key's tile shape
- * deterministically computes to: results never depend on which chain
- * inserted an entry first. Entries are never erased, so returned
- * references stay valid for the memo's lifetime.
+ * memo instead of each starting cold) and — via the service layer's
+ * WarmStateCache — across every request scheduling the same (graph,
+ * hardware preset). Keys carry (layer, batches, rows, cols) exactly —
+ * no lossy hashing, full equality on lookup — so a hit always returns
+ * the cost the key's tile shape deterministically computes to: results
+ * never depend on which chain or request inserted an entry first.
+ * Entries are never erased, so returned references stay valid for the
+ * memo's lifetime.
+ *
+ * Cross-request sharing invariant: a TileCost depends on the core
+ * array's compute-side parameters (cores, PE geometry, L0 sizes,
+ * frequency, energy table) but NOT on HardwareConfig::gbuf_bytes or
+ * dram_gbps — which is why WarmStateCache keys memos by hardware
+ * *preset* and shares them across GBUF/DRAM DSE overrides. If a future
+ * cost model reads either field, the warm-state key must grow them.
  */
 class TileCostMemo {
   public:
@@ -80,6 +89,10 @@ class TileCostMemo {
 
     /** Total entries over all shards (approximate under concurrency). */
     std::size_t size() const;
+
+    /** Rough resident footprint in bytes, for the warm-state accounting
+     *  surfaced by `somac sweep --stats`. */
+    std::size_t ApproxBytes() const;
 
   private:
     struct KeyHash {

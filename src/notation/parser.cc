@@ -175,10 +175,14 @@ ParseLfaIntoImpl(const Graph &graph, const LfaEncoding &lfa,
         }
     }
 
-    // Tile and cost the FLGs. Group blocks are content-addressed:
+    // Tile and cost the FLGs. Group blocks are content-addressed by
+    // their sink-set signature (canonical member set + Tiling Number):
     // groups untouched by the last mutation ("clean") reuse their
     // memoized block — tiling (backward halo propagation) and per-tile
-    // core-array costs — verbatim; only dirty groups re-derive it.
+    // core-array costs — verbatim; a clean group whose *interior order*
+    // moved re-indexes the block (regions and costs are order-invariant
+    // per layer, only their positional indexing follows the order);
+    // only dirty groups re-derive it.
     if (scratch->memo_graph != static_cast<const void *>(&graph) ||
         scratch->memo_eval != static_cast<const void *>(&core_eval)) {
         scratch->group_memo.clear();
@@ -190,24 +194,60 @@ ParseLfaIntoImpl(const Graph &graph, const LfaEncoding &lfa,
     scratch->group_overflow.clear();
     scratch->last_dirty_groups = 0;
     scratch->last_clean_groups = 0;
+    scratch->last_remapped_groups = 0;
     std::vector<const ParseScratch::GroupParse *> &groups = scratch->groups;
     groups.assign(lfa.NumFlgs(), nullptr);
     for (int g = 0; g < lfa.NumFlgs(); ++g) {
         const int rounds = lfa.tiling[g];
         const auto &layers = flg_layers[g];
-        // Content signature (collision-checked below against the full
-        // layers/tiles key).
-        const std::uint64_t sig = GroupKeyHash(layers, rounds);
+        // Sink-set signature (collision-checked below against the full
+        // sorted-members/tiles key).
+        std::vector<LayerId> &sorted = scratch->sorted_members;
+        sorted = layers;
+        std::sort(sorted.begin(), sorted.end());
+        const std::uint64_t sig = GroupKeyHash(sorted, rounds);
         auto it = scratch->group_memo.find(sig);
         const bool key_matches = it != scratch->group_memo.end() &&
                                  it->second.tiles == rounds &&
-                                 it->second.layers == layers;
-        if (popts.reuse_groups && key_matches) {
+                                 it->second.sorted_layers == sorted;
+        if (popts.reuse_groups && key_matches &&
+            it->second.layers == layers) {
             groups[g] = &it->second;
             ++scratch->last_clean_groups;
+        } else if (popts.reuse_groups && key_matches) {
+            // Same member set (hence same sink set and tiling), new
+            // interior order: re-index the stored block to the current
+            // order instead of re-deriving it. The replacement is safe
+            // mid-parse — FLGs partition the layers, so no other group
+            // of this parse can share the member set behind `sig`.
+            ParseScratch::GroupParse remapped;
+            remapped.layers = layers;
+            remapped.sorted_layers = sorted;
+            remapped.tiles = rounds;
+            std::vector<std::size_t> perm;  // dst position -> src position
+            remapped.tiling = std::make_shared<const FlgTiling>(
+                ReindexFlgTiling(*it->second.tiling, it->second.layers,
+                                 layers, &perm));
+            if (remapped.tiling->valid) {
+                const std::size_t n_layers = layers.size();
+                remapped.costs.resize(it->second.costs.size());
+                for (int t = 0; t < rounds; ++t) {
+                    const std::size_t row =
+                        static_cast<std::size_t>(t) * n_layers;
+                    for (std::size_t i = 0; i < n_layers; ++i) {
+                        remapped.costs[row + i] =
+                            it->second.costs[row + perm[i]];
+                    }
+                }
+            }
+            it->second = std::move(remapped);
+            groups[g] = &it->second;
+            ++scratch->last_clean_groups;
+            ++scratch->last_remapped_groups;
         } else {
             ParseScratch::GroupParse block;
             block.layers = layers;
+            block.sorted_layers = sorted;
             block.tiles = rounds;
             block.tiling =
                 tiling_cache

@@ -169,21 +169,29 @@ struct ParsedSchedule {
  *
  * The scratch additionally carries the *group memo* behind the
  * incremental parse: the expensive per-FLG work (halo-propagated
- * tiling + per-tile core-array costs) is cached by the group's content
- * signature (ordered layer sequence, Tiling Number). An LFA operator
+ * tiling + per-tile core-array costs) is cached by the group's
+ * sink-set content signature (canonical member set, Tiling Number) —
+ * an FLG's tiling depends on its sink set, which the member set
+ * determines, not on the interior computing order. An LFA operator
  * touches at most two fused groups, so consecutive parses re-derive
- * only the dirty groups and reuse every clean group's block verbatim —
- * cheap global passes (tile positions, DRAM tensors, intervals) are
- * rebuilt every time, which keeps the result bit-identical to a full
- * parse (ParseOptions::cross_check asserts this).
+ * only the dirty groups and reuse every clean group's block verbatim;
+ * an order move *within* a group is also a memo hit — the stored block
+ * is re-indexed to the new order (ReindexFlgTiling + a cost permute)
+ * instead of re-derived. Cheap global passes (tile positions, DRAM
+ * tensors, intervals) are rebuilt every time, which keeps the result
+ * bit-identical to a full parse (ParseOptions::cross_check asserts
+ * this).
  */
 struct ParseScratch {
-    /** One fused group's memoized parse block. `layers`/`tiles` are the
-     *  full key (signature hashes are collision-checked); `costs` is
-     *  round-major: costs[t * layers.size() + i] belongs to layers[i]
-     *  at tile round t. Blocks are content-addressed pure values. */
+    /** One fused group's memoized parse block. `sorted_layers`/`tiles`
+     *  are the full canonical key (signature hashes are collision-
+     *  checked); `layers` is the order the block is indexed by, and
+     *  `costs` is round-major: costs[t * layers.size() + i] belongs to
+     *  layers[i] at tile round t. Blocks are content-addressed pure
+     *  values. */
     struct GroupParse {
         std::vector<LayerId> layers;
+        std::vector<LayerId> sorted_layers;
         int tiles = 0;
         std::shared_ptr<const FlgTiling> tiling;
         std::vector<TileCost> costs;
@@ -191,6 +199,7 @@ struct ParseScratch {
 
     std::vector<int> flg_of_layer, lg_of_layer, idx_in_flg;
     std::vector<std::vector<LayerId>> flg_layers;
+    std::vector<LayerId> sorted_members;  ///< per-group signature scratch
     std::vector<const GroupParse *> groups;  ///< per-FLG view, this parse
     std::vector<std::vector<TilePos>> pos_of;
     std::vector<TilePos> lg_first, lg_last;
@@ -211,9 +220,12 @@ struct ParseScratch {
     const void *memo_eval = nullptr;   ///< evaluator the costs came from
 
     /** Dirty-set telemetry of the most recent ParseLfaInto call: groups
-     *  re-derived vs reused. Exposed for tests and benches. */
+     *  re-derived vs reused; `last_remapped_groups` counts the reused
+     *  subset that was re-indexed to a new interior order (sink-set
+     *  signature hits). Exposed for tests and benches. */
     int last_dirty_groups = 0;
     int last_clean_groups = 0;
+    int last_remapped_groups = 0;
 };
 
 /**

@@ -38,10 +38,19 @@ struct LfaStageOptions {
     /**
      * Stage-wide tiling memo shared by the serial seeding pass and
      * every SearchDriver chain (and, when the Buffer Allocator passes
-     * one in, across its outer iterations). Null: the stage creates a
-     * private cache per run. Must belong to the searched graph.
+     * one in, across its outer iterations; when the service layer's
+     * WarmStateCache passes one in, across whole requests). Null: the
+     * stage creates a private cache per run. Must belong to the
+     * searched graph.
      */
     std::shared_ptr<TilingCache> tiling_cache;
+    /**
+     * Tile-cost memo the Buffer Allocator seeds its CoreArrayEvaluator
+     * with (every chain evaluator then shares it via memo()). Null: a
+     * private memo per search. Must belong to the searched (graph,
+     * hardware-preset) pair — see TileCostMemo's sharing invariant.
+     */
+    std::shared_ptr<TileCostMemo> tile_cost_memo;
     /**
      * Force the incremental-parse debug cross-check for every candidate
      * (see ParseOptions::cross_check). Also enabled by setting the

@@ -11,6 +11,9 @@ PropagateSomaOptions(SomaOptions opts)
     opts.dlsa.cost_m = opts.cost_m;
     opts.lfa.driver = opts.driver;
     opts.dlsa.driver = opts.driver;
+    if (!opts.lfa.tiling_cache) opts.lfa.tiling_cache = opts.warm.tilings;
+    if (!opts.lfa.tile_cost_memo)
+        opts.lfa.tile_cost_memo = opts.warm.tile_costs;
     return opts;
 }
 

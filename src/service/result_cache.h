@@ -10,6 +10,15 @@
  * every Put also lands on disk, so entries evicted from memory (and
  * entries from earlier processes) come back as disk hits. Disk usage is
  * unbounded; prune the directory externally if that matters.
+ *
+ * Crash/concurrency safety: entries are written to a process-unique
+ * temp file and published with an atomic rename, so readers — however
+ * many processes share the directory, e.g. `somac sweep --shard`
+ * pointed at one --cache-dir — only ever observe a complete file or no
+ * file. Each entry's header additionally records the payload length;
+ * a file torn by any other means (partial copy, truncation, a
+ * pre-atomic-rename writer) fails the length check and loads as a
+ * plain miss, never as garbage bytes.
  */
 #ifndef SOMA_SERVICE_RESULT_CACHE_H
 #define SOMA_SERVICE_RESULT_CACHE_H
@@ -33,9 +42,11 @@ namespace soma {
  *
  * History: 1 = the first persisted format (PR 3, unversioned header-
  * less files — every versioned build loads them as misses);
- * 2 = incremental LFA pipeline + raised default/full search budgets.
+ * 2 = incremental LFA pipeline + raised default/full search budgets;
+ * 3 = length-stamped header (`somacache <version> <payload-bytes>`)
+ * for torn-file detection, written via temp-file + atomic rename.
  */
-inline constexpr std::uint64_t kResultCacheSchemaVersion = 2;
+inline constexpr std::uint64_t kResultCacheSchemaVersion = 3;
 
 class ResultCache {
   public:

@@ -66,17 +66,38 @@ ServiceStats::ToJson() const
     gc.Set("misses", Json::U64(graph_cache.misses));
     gc.Set("evictions", Json::U64(graph_cache.evictions));
     json.Set("graph_cache", std::move(gc));
+    Json ws = Json::Object();
+    ws.Set("acquires", Json::U64(warm_state.acquires));
+    ws.Set("hits", Json::U64(warm_state.hits));
+    ws.Set("misses", Json::U64(warm_state.misses));
+    ws.Set("evictions", Json::U64(warm_state.evictions));
+    ws.Set("tiling_hits", Json::U64(warm_state.tiling_hits));
+    ws.Set("tiling_misses", Json::U64(warm_state.tiling_misses));
+    ws.Set("tiling_remaps", Json::U64(warm_state.tiling_remaps));
+    ws.Set("tiling_entries", Json::U64(warm_state.tiling_entries));
+    ws.Set("tile_cost_entries", Json::U64(warm_state.tile_cost_entries));
+    ws.Set("approx_bytes", Json::U64(warm_state.approx_bytes));
+    json.Set("warm_state", std::move(ws));
     return json;
 }
 
 SchedulerService::SchedulerService(const ServiceOptions &options)
     : error_ttl_ms_(options.error_ttl_ms),
+      now_fn_(options.now_fn),
       scheduler_(options.scheduler),
       result_cache_(ResultCache::Options{options.result_cache_capacity,
                                          options.cache_dir,
                                          kResultCacheSchemaVersion}),
-      graph_cache_(options.graph_cache_capacity)
+      graph_cache_(options.graph_cache_capacity),
+      warm_state_cache_(
+          WarmStateCache::Options{options.warm_state_capacity})
 {
+}
+
+std::chrono::steady_clock::time_point
+SchedulerService::Now() const
+{
+    return now_fn_ ? now_fn_() : std::chrono::steady_clock::now();
 }
 
 const SchedulerService::NegativeEntry *
@@ -84,7 +105,7 @@ SchedulerService::FindNegativeLocked(std::uint64_t fingerprint)
 {
     auto it = negative_.find(fingerprint);
     if (it == negative_.end()) return nullptr;
-    if (std::chrono::steady_clock::now() >= it->second.expires) {
+    if (Now() >= it->second.expires) {
         negative_.erase(it);
         return nullptr;
     }
@@ -95,32 +116,27 @@ ScheduleResult
 SchedulerService::Schedule(const ScheduleRequest &request,
                            std::string *result_json)
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.requests;
-    }
+    counters_.requests.fetch_add(1, std::memory_order_relaxed);
 
     // Inline graphs have no faithful fingerprint (only their name
     // serializes); run them straight through the facade.
     if (request.graph) {
         ScheduleResult result = scheduler_.Schedule(request);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.uncacheable;
-            ++stats_.searches;
-            if (!result.ok) ++stats_.errors;
-        }
+        counters_.uncacheable.fetch_add(1, std::memory_order_relaxed);
+        counters_.searches.fetch_add(1, std::memory_order_relaxed);
+        if (!result.ok)
+            counters_.errors.fetch_add(1, std::memory_order_relaxed);
         if (result_json) *result_json = result.ToJson().Dump(2);
         return result;
     }
 
     const std::uint64_t fingerprint = request.Fingerprint();
     // Even a coalesced waiter honors its own QoS: the deadline anchors
-    // here, and the wait loop below polls it plus the cancel flag.
+    // here on the monotonic clock, and the wait loop below polls it
+    // plus the cancel flag.
     const auto wait_deadline =
         request.deadline_ms > 0
-            ? std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(request.deadline_ms)
+            ? Now() + std::chrono::milliseconds(request.deadline_ms)
             : std::chrono::steady_clock::time_point{};
 
     auto serve_cached = [&](std::string text,
@@ -152,7 +168,8 @@ SchedulerService::Schedule(const ScheduleRequest &request,
         // error instead of re-running the whole search (TTL-bounded so
         // healed registries recover quickly).
         if (const NegativeEntry *neg = FindNegativeLocked(fingerprint)) {
-            ++stats_.negative_hits;
+            counters_.negative_hits.fetch_add(1,
+                                              std::memory_order_relaxed);
             std::string neg_text = neg->text;
             lock.unlock();
             ScheduleResult result;
@@ -184,14 +201,15 @@ SchedulerService::Schedule(const ScheduleRequest &request,
             // Coalesce: pend on the leader, but keep honoring this
             // request's own cancel flag and deadline while waiting.
             flight = it->second;
-            ++stats_.coalesced;
+            counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
             for (;;) {
                 if (flight->done) break;
                 if (request.cancel &&
                     request.cancel->load(std::memory_order_relaxed)) {
                     return AbortedResult(request, "cancelled", false);
                 }
-                if (StopRequested(nullptr, wait_deadline)) {
+                if (wait_deadline.time_since_epoch().count() != 0 &&
+                    Now() >= wait_deadline) {
                     return AbortedResult(
                         request,
                         "deadline expired (" +
@@ -230,12 +248,20 @@ SchedulerService::RunAndPublish(const ScheduleRequest &request,
         graph_cache_.Get(req.model, req.batch, scheduler_.models(), &err);
     // Unknown models fall through graph-less so the facade produces its
     // canonical error (with the registered-name candidates).
-    if (graph) req.graph = std::move(graph);
-
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.searches;
+    if (graph) {
+        req.graph = std::move(graph);
+        // Warm-start the search from every earlier request over this
+        // (graph, hardware preset). The hardware key deliberately
+        // excludes the GBUF/DRAM overrides: tilings are hardware-free
+        // and tile costs are preset-determined (see TileCostMemo's
+        // sharing invariant), so a DSE sweep shares one bundle across
+        // its whole GBUF/bandwidth axis.
+        req.warm_state = warm_state_cache_.Acquire(
+            Fnv1a64(req.model + '\n' + std::to_string(req.batch)),
+            Fnv1a64(req.hardware));
     }
+
+    counters_.searches.fetch_add(1, std::memory_order_relaxed);
     ScheduleResult result = scheduler_.Schedule(req);
     std::string text = result.ToJson().Dump(2);
 
@@ -245,16 +271,17 @@ SchedulerService::RunAndPublish(const ScheduleRequest &request,
     if (result.ok && !result.deadline_expired)
         result_cache_.Put(fingerprint, text);
 
+    if (!result.ok)
+        counters_.errors.fetch_add(1, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (!result.ok) ++stats_.errors;
         // Memoize deterministic failures for a short TTL. Cancelled and
         // deadline-shaped results reflect this caller's QoS — another
         // request with the same fingerprint could well succeed — so
         // they never enter the memo.
         if (error_ttl_ms_ > 0 && !result.ok &&
             !result.deadline_expired && result.error != "cancelled") {
-            const auto now = std::chrono::steady_clock::now();
+            const auto now = Now();
             constexpr std::size_t kNegativeCap = 1024;
             if (negative_.size() >= kNegativeCap) {
                 // At capacity: sweep expired entries, and if a burst of
@@ -285,10 +312,18 @@ SchedulerService::RunAndPublish(const ScheduleRequest &request,
 ServiceStats
 SchedulerService::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ServiceStats out = stats_;
+    ServiceStats out;
+    out.requests = counters_.requests.load(std::memory_order_relaxed);
+    out.coalesced = counters_.coalesced.load(std::memory_order_relaxed);
+    out.searches = counters_.searches.load(std::memory_order_relaxed);
+    out.uncacheable =
+        counters_.uncacheable.load(std::memory_order_relaxed);
+    out.errors = counters_.errors.load(std::memory_order_relaxed);
+    out.negative_hits =
+        counters_.negative_hits.load(std::memory_order_relaxed);
     out.result_cache = result_cache_.stats();
     out.graph_cache = graph_cache_.stats();
+    out.warm_state = warm_state_cache_.stats();
     return out;
 }
 

@@ -2,14 +2,16 @@
  * @file
  * SchedulerService — the caching, coalescing serving layer wrapped
  * around soma::Scheduler for repeated traffic (DSE sweeps, a fixed
- * model zoo served many times). Three mechanisms stack on the facade:
+ * model zoo served many times). Four mechanisms stack on the facade:
  *
  *  - Result cache: requests are pure functions of their
  *    result-affecting fields, so the service memoizes serialized
  *    results by ScheduleRequest::Fingerprint() in an LRU (optionally
- *    persisted to disk, one JSON file per fingerprint). A hit returns
- *    the exact bytes a cold run produced — the cache-determinism
- *    contract `cached result == recomputed result, byte for byte`.
+ *    persisted to disk, one JSON file per fingerprint, written via
+ *    temp-file + atomic rename so concurrent sweep shards never
+ *    publish a torn entry). A hit returns the exact bytes a cold run
+ *    produced — the cache-determinism contract `cached result ==
+ *    recomputed result, byte for byte`.
  *  - In-flight coalescing: N concurrent Schedule() calls with one
  *    fingerprint run one search; the leader fans its serialized result
  *    out to every waiting sibling. Waiters keep honoring their own
@@ -18,11 +20,23 @@
  *    of blocking on the leader.
  *  - Graph cache: workloads are cached by (model, batch), so a sweep
  *    over one model parses it once instead of once per request.
+ *  - Warm-state cache: result-cache-cold requests over an already-seen
+ *    (graph, hardware preset) start from the warm fused-group tilings
+ *    and tile costs of every earlier search (WarmStateCache; injected
+ *    through ScheduleRequest::warm_state). Pure-value caches — a warm
+ *    search produces the same bytes as a cold one, pinned by test.
  *
  * What is NOT cached: inline-graph requests (their fingerprint only
  * covers the graph's name), failed results (errors are not pure — a
  * registry entry may be added later), and deadline-truncated results
  * (they depend on wall-clock, violating the determinism contract).
+ *
+ * Clock discipline: every time comparison the service makes — the
+ * negative-memo TTL, the coalesced waiter's deadline, and (in the
+ * facade) deadline_ms itself — is computed on std::chrono::steady_clock
+ * arithmetic, never the wall clock, so a system-time jump can neither
+ * mass-expire nor immortalize entries nor truncate searches.
+ * ServiceOptions::now_fn injects a fake monotonic clock for tests.
  *
  * Results served from the cache (and coalesced siblings) are
  * deserialized from the stored text: every serialized field matches
@@ -32,9 +46,11 @@
 #ifndef SOMA_SERVICE_SERVICE_H
 #define SOMA_SERVICE_SERVICE_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -43,6 +59,7 @@
 #include "api/scheduler.h"
 #include "service/graph_cache.h"
 #include "service/result_cache.h"
+#include "service/warm_state_cache.h"
 
 namespace soma {
 
@@ -52,6 +69,10 @@ struct ServiceOptions {
     std::size_t result_cache_capacity = 256;
     std::string cache_dir;
     std::size_t graph_cache_capacity = 64;
+    /** Warm-state residency: max TilingCaches / TileCostMemos kept for
+     *  cross-request reuse (see WarmStateCache). 0 disables warm-state
+     *  sharing — every search starts cold, as before PR 5. */
+    std::size_t warm_state_capacity = 32;
     /**
      * Negative-result memo TTL. Errors stay uncacheable in the result
      * cache by design (they are not pure: a registry entry may be added
@@ -64,11 +85,19 @@ struct ServiceOptions {
      * 0 disables the memo.
      */
     int error_ttl_ms = 2000;
+    /**
+     * Monotonic-clock hook for the TTL/deadline arithmetic above; null
+     * (the default) uses std::chrono::steady_clock::now. Tests inject
+     * a fake clock to pin expiry behaviour without sleeping.
+     */
+    std::function<std::chrono::steady_clock::time_point()> now_fn;
     /** Options for the wrapped facade (worker pool, driver threads). */
     Scheduler::Options scheduler;
 };
 
-/** Service-level counters plus the embedded cache stats. */
+/** Service-level counters plus the embedded cache stats. A stats()
+ *  snapshot of the service's internal atomic counters — `somac sweep
+ *  --stats` serializes this via ToJson(). */
 struct ServiceStats {
     std::uint64_t requests = 0;     ///< Schedule() calls
     std::uint64_t coalesced = 0;    ///< joined an in-flight sibling
@@ -78,6 +107,7 @@ struct ServiceStats {
     std::uint64_t negative_hits = 0;///< served from the error memo
     ResultCache::Stats result_cache;
     GraphCache::Stats graph_cache;
+    WarmStateCache::Stats warm_state;
 
     Json ToJson() const;  ///< the `somac sweep --stats` schema
 };
@@ -95,10 +125,11 @@ class SchedulerService {
 
     /**
      * Serve @p request: result cache, then in-flight coalescing, then
-     * one real pipeline run. Thread-safe; concurrent callers with the
-     * same fingerprint share one search. When @p result_json is given
-     * it receives the request's serialized result text — for cached
-     * and coalesced requests these are the cold run's exact bytes.
+     * one real pipeline run (warm-started from the warm-state cache).
+     * Thread-safe; concurrent callers with the same fingerprint share
+     * one search. When @p result_json is given it receives the
+     * request's serialized result text — for cached and coalesced
+     * requests these are the cold run's exact bytes.
      */
     ScheduleResult Schedule(const ScheduleRequest &request,
                             std::string *result_json = nullptr);
@@ -106,6 +137,7 @@ class SchedulerService {
     ServiceStats stats() const;
     ResultCache &result_cache() { return result_cache_; }
     GraphCache &graph_cache() { return graph_cache_; }
+    WarmStateCache &warm_state_cache() { return warm_state_cache_; }
 
   private:
     struct Inflight {
@@ -118,6 +150,21 @@ class SchedulerService {
         std::chrono::steady_clock::time_point expires;
         std::string text;
     };
+    /**
+     * The mutable counters behind ServiceStats. Atomics, not
+     * mutex-guarded fields: concurrent Schedule() calls bump them on
+     * paths that never take mutex_ (the unlocked result-cache fast
+     * path, the inline-graph bypass), so plain integers would tear
+     * under TSan — and did, before PR 5's correctness pass.
+     */
+    struct Counters {
+        std::atomic<std::uint64_t> requests{0};
+        std::atomic<std::uint64_t> coalesced{0};
+        std::atomic<std::uint64_t> searches{0};
+        std::atomic<std::uint64_t> uncacheable{0};
+        std::atomic<std::uint64_t> errors{0};
+        std::atomic<std::uint64_t> negative_hits{0};
+    };
 
     ScheduleResult RunAndPublish(const ScheduleRequest &request,
                                  std::uint64_t fingerprint,
@@ -128,15 +175,20 @@ class SchedulerService {
      *  expired one). Caller must hold mutex_. */
     const NegativeEntry *FindNegativeLocked(std::uint64_t fingerprint);
 
+    /** The injected (or steady_clock) monotonic now. */
+    std::chrono::steady_clock::time_point Now() const;
+
     const int error_ttl_ms_;  ///< ServiceOptions::error_ttl_ms
+    const std::function<std::chrono::steady_clock::time_point()> now_fn_;
     Scheduler scheduler_;
     ResultCache result_cache_;
     GraphCache graph_cache_;
+    WarmStateCache warm_state_cache_;
 
-    mutable std::mutex mutex_;  ///< stats + inflight + error memo
+    mutable std::mutex mutex_;  ///< inflight + error memo
     std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> inflight_;
     std::unordered_map<std::uint64_t, NegativeEntry> negative_;
-    ServiceStats stats_;
+    Counters counters_;
 };
 
 }  // namespace soma

@@ -1,0 +1,84 @@
+#include "service/warm_state_cache.h"
+
+namespace soma {
+
+namespace {
+
+/** Order-sensitive 64-bit mix of the two key halves (splitmix64 on the
+ *  fold, so (a,b) and (b,a) land apart). */
+std::uint64_t
+FoldKeys(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t z = a + 0x9e3779b97f4a7c15ULL + (b << 1 | b >> 63);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+WarmStateCache::WarmStateCache(const Options &options)
+    : capacity_(options.capacity)
+{
+}
+
+SearchWarmState
+WarmStateCache::Acquire(std::uint64_t graph_key, std::uint64_t hw_key)
+{
+    if (capacity_ == 0) return SearchWarmState{};
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.acquires;
+    auto [tilings, tilings_resident] =
+        tilings_.Touch(graph_key, capacity_, &stats_.evictions);
+    auto [costs, costs_resident] = tile_costs_.Touch(
+        FoldKeys(graph_key, hw_key), capacity_, &stats_.evictions);
+    if (tilings_resident && costs_resident) {
+        ++stats_.hits;
+    } else {
+        ++stats_.misses;
+    }
+    SearchWarmState state;
+    state.tilings = std::move(tilings);
+    state.tile_costs = std::move(costs);
+    return state;
+}
+
+WarmStateCache::Stats
+WarmStateCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats out = stats_;
+    for (const auto &entry : tilings_.list) {
+        const TilingCache::Stats ts = entry.value->stats();
+        out.tiling_hits += ts.hits;
+        out.tiling_misses += ts.misses;
+        out.tiling_remaps += ts.remaps;
+        out.tiling_entries += entry.value->size();
+        out.approx_bytes += entry.value->ApproxBytes();
+    }
+    for (const auto &entry : tile_costs_.list) {
+        out.tile_cost_entries += entry.value->size();
+        out.approx_bytes += entry.value->ApproxBytes();
+    }
+    return out;
+}
+
+std::size_t
+WarmStateCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tile_costs_.list.size();
+}
+
+void
+WarmStateCache::Clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tilings_.list.clear();
+    tilings_.index.clear();
+    tile_costs_.list.clear();
+    tile_costs_.index.clear();
+    stats_ = Stats{};
+}
+
+}  // namespace soma

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * WarmStateCache: the service-level home of cross-request search
+ * warm-up. Where the ResultCache warms whole *results* (a repeated
+ * request costs nothing), this cache warms the *state inside* a search
+ * (a result-cache-cold request — new seed, profile, scheduler or
+ * GBUF/DRAM point over an already-seen workload — skips re-deriving
+ * the fused-group tilings and per-tile core-array costs every earlier
+ * request already derived).
+ *
+ * Keying — the entries composing to (graph fingerprint, group
+ * signature, tiling number):
+ *  - TilingCache instances are keyed by graph fingerprint alone; each
+ *    instance then keys tilings by sink-set group signature (canonical
+ *    member set, Tiling Number). Tilings do not depend on hardware, so
+ *    one instance warms every hardware point of a workload.
+ *  - TileCostMemo instances are keyed by (graph fingerprint, hardware
+ *    fingerprint); each then keys costs by exact tile shape. The
+ *    hardware fingerprint covers the *preset name* only: TileCost is
+ *    independent of the GBUF/DRAM DSE overrides (see the sharing
+ *    invariant documented on TileCostMemo), so one memo warms a whole
+ *    GBUF/bandwidth sweep.
+ *
+ * Determinism contract: both caches hold content-addressed pure
+ * values, so acquiring a warm bundle can never change a result byte —
+ * pinned by the service tests' warm-vs-cold byte-identity case. Like
+ * the Graph/Result caches, fingerprints assume registry builders are
+ * deterministic per name.
+ *
+ * Eviction: both maps are LRU-bounded by Options::capacity; evicting
+ * drops the shared_ptr, so in-flight searches holding a bundle keep
+ * using it safely while new acquires start cold.
+ */
+#ifndef SOMA_SERVICE_WARM_STATE_CACHE_H
+#define SOMA_SERVICE_WARM_STATE_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "search/warm_state.h"
+
+namespace soma {
+
+class WarmStateCache {
+  public:
+    struct Options {
+        /** Max resident TilingCaches and TileCostMemos (each map is
+         *  bounded separately). 0 disables the cache: Acquire returns
+         *  empty bundles and every search starts cold. */
+        std::size_t capacity = 32;
+    };
+
+    /** Counters plus a footprint snapshot of the resident caches (the
+     *  `warm_state` section of `somac sweep --stats`). `hits` counts
+     *  Acquire calls fully served by resident state; `tiling_*`
+     *  aggregate the resident TilingCaches' own counters — entries
+     *  evicted wholesale take their counts with them, so these are a
+     *  residency-scoped view, not a lifetime total. */
+    struct Stats {
+        std::uint64_t acquires = 0;
+        std::uint64_t hits = 0;      ///< both members were resident
+        std::uint64_t misses = 0;    ///< at least one started cold
+        std::uint64_t evictions = 0;
+        std::uint64_t tiling_hits = 0;
+        std::uint64_t tiling_misses = 0;
+        std::uint64_t tiling_remaps = 0;
+        std::uint64_t tiling_entries = 0;
+        std::uint64_t tile_cost_entries = 0;
+        std::uint64_t approx_bytes = 0;
+    };
+
+    WarmStateCache() : WarmStateCache(Options{}) {}
+    explicit WarmStateCache(const Options &options);
+
+    /**
+     * The warm bundle for (@p graph_key, @p hw_key), creating empty
+     * caches on first sight. Thread-safe; concurrent acquirers of one
+     * key share the same instances. Empty bundle when disabled.
+     */
+    SearchWarmState Acquire(std::uint64_t graph_key, std::uint64_t hw_key);
+
+    Stats stats() const;
+    std::size_t size() const;  ///< resident TileCostMemo count
+    void Clear();              ///< drops resident state and counters
+
+  private:
+    template <typename V> struct Lru {
+        struct Entry {
+            std::uint64_t key;
+            std::shared_ptr<V> value;
+        };
+        std::list<Entry> list;  ///< front = most recently used
+        std::unordered_map<std::uint64_t,
+                           typename std::list<Entry>::iterator>
+            index;
+
+        /** Returns {value, was_resident}; inserts a fresh V on miss and
+         *  evicts the LRU tail beyond @p capacity (count reported via
+         *  @p evictions). */
+        std::pair<std::shared_ptr<V>, bool> Touch(std::uint64_t key,
+                                                  std::size_t capacity,
+                                                  std::uint64_t *evictions)
+        {
+            auto it = index.find(key);
+            if (it != index.end()) {
+                list.splice(list.begin(), list, it->second);
+                return {list.front().value, true};
+            }
+            list.push_front(Entry{key, std::make_shared<V>()});
+            index[key] = list.begin();
+            while (list.size() > capacity) {
+                index.erase(list.back().key);
+                list.pop_back();
+                ++*evictions;
+            }
+            return {list.front().value, false};
+        }
+    };
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    Lru<TilingCache> tilings_;     ///< by graph_key
+    Lru<TileCostMemo> tile_costs_; ///< by (graph_key, hw_key) fold
+    Stats stats_;                  ///< counters only; snapshot fills rest
+};
+
+}  // namespace soma
+
+#endif  // SOMA_SERVICE_WARM_STATE_CACHE_H

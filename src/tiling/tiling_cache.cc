@@ -1,5 +1,6 @@
 #include "tiling/tiling_cache.h"
 
+#include <algorithm>
 #include <mutex>
 
 namespace soma {
@@ -21,7 +22,7 @@ GroupKeyHash(const std::vector<LayerId> &layers, int tiles)
 std::size_t
 TilingCache::KeyHash::operator()(const Key &k) const
 {
-    return static_cast<std::size_t>(GroupKeyHash(k.layers, k.tiles));
+    return static_cast<std::size_t>(GroupKeyHash(k.members, k.tiles));
 }
 
 TilingCache::Shard &
@@ -35,13 +36,28 @@ TilingCache::Get(const Graph &graph, const std::vector<LayerId> &flg_layers,
                  int tiles)
 {
     Key key{flg_layers, tiles};
+    std::sort(key.members.begin(), key.members.end());
     Shard &shard = ShardFor(key);
     {
-        std::shared_lock<std::shared_mutex> lock(shard.mutex);
-        auto it = shard.map.find(key);
-        if (it != shard.map.end()) {
-            shard.hits.fetch_add(1, std::memory_order_relaxed);
-            return it->second;
+        // On a hit under a different interior order, copy the stored
+        // value's fields under the lock and re-index after releasing it
+        // (entries are immutable but a shard overflow clears the map).
+        std::shared_ptr<const FlgTiling> tiling;
+        std::vector<LayerId> stored_order;
+        {
+            std::shared_lock<std::shared_mutex> lock(shard.mutex);
+            auto it = shard.map.find(key);
+            if (it != shard.map.end()) {
+                shard.hits.fetch_add(1, std::memory_order_relaxed);
+                if (it->second.order == flg_layers) return it->second.tiling;
+                tiling = it->second.tiling;
+                stored_order = it->second.order;
+            }
+        }
+        if (tiling) {
+            shard.remaps.fetch_add(1, std::memory_order_relaxed);
+            return std::make_shared<const FlgTiling>(
+                ReindexFlgTiling(*tiling, stored_order, flg_layers));
         }
     }
     auto tiling = std::make_shared<const FlgTiling>(
@@ -49,10 +65,17 @@ TilingCache::Get(const Graph &graph, const std::vector<LayerId> &flg_layers,
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     shard.misses.fetch_add(1, std::memory_order_relaxed);
     if (shard.map.size() >= kMaxEntriesPerShard) shard.map.clear();
-    // A racing thread may have published first; both computed the same
-    // pure value, so return whichever landed.
-    return shard.map.emplace(std::move(key), std::move(tiling))
-        .first->second;
+    // A racing thread may have published first; both computed pure
+    // values for the same member set, so serve whichever landed —
+    // re-indexed if the resident derivation order differs.
+    auto [it, inserted] =
+        shard.map.emplace(std::move(key), Value{flg_layers, tiling});
+    if (!inserted && it->second.order != flg_layers) {
+        return std::make_shared<const FlgTiling>(
+            ReindexFlgTiling(*it->second.tiling, it->second.order,
+                             flg_layers));
+    }
+    return it->second.tiling;
 }
 
 TilingCache::Stats
@@ -62,6 +85,7 @@ TilingCache::stats() const
     for (const Shard &shard : shards_) {
         out.hits += shard.hits.load(std::memory_order_relaxed);
         out.misses += shard.misses.load(std::memory_order_relaxed);
+        out.remaps += shard.remaps.load(std::memory_order_relaxed);
     }
     return out;
 }
@@ -73,6 +97,24 @@ TilingCache::size() const
     for (const Shard &shard : shards_) {
         std::shared_lock<std::shared_mutex> lock(shard.mutex);
         total += shard.map.size();
+    }
+    return total;
+}
+
+std::size_t
+TilingCache::ApproxBytes() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        for (const auto &[key, value] : shard.map) {
+            total += sizeof(key) + sizeof(value) +
+                     (key.members.size() + value.order.size()) *
+                         sizeof(LayerId) +
+                     sizeof(FlgTiling);
+            for (const auto &row : value.tiling->regions)
+                total += sizeof(row) + row.size() * sizeof(Region);
+        }
     }
     return total;
 }

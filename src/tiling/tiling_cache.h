@@ -6,21 +6,31 @@
  * the dominant cost of each parse is the per-FLG backward halo
  * propagation (O(layers x tiles x consumers) region math). A mutation
  * touches at most two fused groups, so the tilings of every other group
- * are recomputed verbatim — this cache keys them by (ordered layer
- * sequence of the group, Tiling Number) and hands the stored result
- * back as a shared immutable FlgTiling.
+ * are recomputed verbatim — this cache keys them by the group's
+ * *sink-set signature* — (canonical member set, Tiling Number) — and
+ * hands the stored result back as a shared immutable FlgTiling.
  *
- * One cache is shared by all SearchDriver chains of a search (and
- * across the Buffer Allocator's outer iterations): ComputeFlgTiling is
- * a pure function of (graph, layers, tiles), so a hit returns the same
- * value no matter which chain inserted it — sharing never perturbs
- * per-seed determinism. Keys carry the full layer sequence (no lossy
- * hashing); lookups take a shared lock, misses compute outside the
- * lock and publish under an exclusive one.
+ * Keys are member *sets*, not ordered sequences: an FLG's sink set (and
+ * hence its split and per-layer regions) is a function of the member
+ * set alone (see ComputeFlgTiling), so every dependency-legal interior
+ * order of one group shares a single entry. Values remember the order
+ * they were derived with; a hit under a different order is re-indexed
+ * through ReindexFlgTiling — bit-identical to recomputation at copy
+ * cost (counted in Stats::remaps). Keys carry the full sorted member
+ * list (no lossy hashing); lookups take a shared lock, misses compute
+ * outside the lock and publish under an exclusive one.
+ *
+ * One cache is shared by all SearchDriver chains of a search, across
+ * the Buffer Allocator's outer iterations, and — via the service
+ * layer's WarmStateCache — across every request scheduling the same
+ * graph: ComputeFlgTiling is a pure function of (graph, members,
+ * tiles), so a hit returns the same value no matter which chain or
+ * request inserted it; sharing never perturbs per-seed determinism.
  *
  * A cache instance is bound to the graph of the first Get call purely
  * by convention: keys do not encode the graph, so use one cache per
- * (graph, search) like the evaluator memo.
+ * graph identity (the WarmStateCache keys instances by graph
+ * fingerprint for exactly this reason).
  */
 #ifndef SOMA_TILING_TILING_CACHE_H
 #define SOMA_TILING_TILING_CACHE_H
@@ -38,26 +48,32 @@
 namespace soma {
 
 /**
- * FNV-1a fold over a fused group's content key (ordered layer
- * sequence, tile count) — the one hash behind TilingCache's shards and
- * the parser's group-memo signatures (both collision-check against the
- * full key).
+ * FNV-1a fold over a fused group's content key (layer sequence, tile
+ * count) — the one hash behind TilingCache's shards and the parser's
+ * group-memo signatures (both collision-check against the full key).
+ * Order-sensitive over whatever sequence it is given: pass the sorted
+ * member list for the canonical sink-set signature.
  */
 std::uint64_t GroupKeyHash(const std::vector<LayerId> &layers, int tiles);
 
 class TilingCache {
   public:
-    /** Hit/miss counters since construction (clears reset them). */
+    /** Hit/miss counters since construction (clears reset them).
+     *  `remaps` counts hits served under a different interior order
+     *  than the stored derivation (re-indexed, not recomputed). */
     struct Stats {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
+        std::uint64_t remaps = 0;
     };
 
     /**
      * The tiling of @p flg_layers (in computing order) at @p tiles,
      * computed through ComputeFlgTiling on a miss. The result is
-     * immutable and shared; invalid tilings (infeasible tile counts)
-     * are cached too — the SA walk re-proposes them often.
+     * immutable, indexed by @p flg_layers, and shared when the stored
+     * derivation order matches (re-indexed otherwise); invalid tilings
+     * (infeasible tile counts) are cached too — the SA walk re-proposes
+     * them often.
      */
     std::shared_ptr<const FlgTiling> Get(
         const Graph &graph, const std::vector<LayerId> &flg_layers,
@@ -65,30 +81,40 @@ class TilingCache {
 
     Stats stats() const;
     std::size_t size() const;
+    /** Rough resident footprint (keys + stored tilings) in bytes, for
+     *  the warm-state accounting surfaced by `somac sweep --stats`. */
+    std::size_t ApproxBytes() const;
 
     /** Entry cap per shard; beyond it the shard is dropped wholesale
      *  (values are pure, so re-computation is always safe). */
     static constexpr std::size_t kMaxEntriesPerShard = 1 << 12;
 
   private:
+    /** Canonical sink-set key: sorted member set + Tiling Number. */
     struct Key {
-        std::vector<LayerId> layers;
+        std::vector<LayerId> members;  ///< sorted ascending
         int tiles = 0;
         bool operator==(const Key &o) const
         {
-            return tiles == o.tiles && layers == o.layers;
+            return tiles == o.tiles && members == o.members;
         }
     };
     struct KeyHash {
         std::size_t operator()(const Key &k) const;
     };
+    /** Stored value: the tiling plus the order it was derived with
+     *  (immutable after insert; hits under other orders re-index). */
+    struct Value {
+        std::vector<LayerId> order;
+        std::shared_ptr<const FlgTiling> tiling;
+    };
     static constexpr int kShards = 8;
     struct Shard {
         mutable std::shared_mutex mutex;
-        std::unordered_map<Key, std::shared_ptr<const FlgTiling>, KeyHash>
-            map;
+        std::unordered_map<Key, Value, KeyHash> map;
         std::atomic<std::uint64_t> hits{0};
         std::atomic<std::uint64_t> misses{0};
+        std::atomic<std::uint64_t> remaps{0};
     };
 
     Shard &ShardFor(const Key &key) const;

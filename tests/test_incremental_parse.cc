@@ -8,6 +8,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "search/dlsa_heuristics.h"
@@ -181,6 +182,134 @@ TEST(IncrementalParse, DirtySetShrinksToMutatedGroups)
     ASSERT_TRUE(out.valid);
     EXPECT_EQ(scratch.last_dirty_groups, 1);
     EXPECT_EQ(scratch.last_clean_groups, 2);
+}
+
+/**
+ * Move one layer to another dependency-legal position *within its own
+ * FLG* — the sink-set-preserving subset of "Change Computing Order".
+ * Returns false when no such move was found.
+ */
+bool
+MutateOrderWithinGroup(const Graph &g, LfaEncoding *lfa, Rng &rng)
+{
+    const int n = static_cast<int>(lfa->order.size());
+    std::vector<int> pos(n);
+    for (int i = 0; i < n; ++i) pos[lfa->order[i]] = i;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        const int gidx = rng.UniformInt(0, lfa->NumFlgs() - 1);
+        int begin, end;
+        lfa->FlgRange(gidx, &begin, &end);
+        if (end - begin < 2) continue;
+        const int p = rng.UniformInt(begin, end - 1);
+        const LayerId id = lfa->order[p];
+        int lo = begin, hi = end - 1;
+        for (const InputRef &in : g.layer(id).inputs()) {
+            if (in.producer != kNoLayer)
+                lo = std::max(lo, pos[in.producer] + 1);
+        }
+        for (const Edge &e : g.Consumers(id))
+            hi = std::min(hi, pos[e.consumer] - 1);
+        if (lo >= hi) continue;
+        int q = rng.UniformInt(lo, hi - 1);
+        if (q >= p) ++q;  // skip the current position
+        if (q == p) continue;
+        if (q < p) {
+            std::rotate(lfa->order.begin() + q, lfa->order.begin() + p,
+                        lfa->order.begin() + p + 1);
+        } else {
+            std::rotate(lfa->order.begin() + p,
+                        lfa->order.begin() + p + 1,
+                        lfa->order.begin() + q + 1);
+        }
+        return true;
+    }
+    return false;
+}
+
+TEST(IncrementalParse, IntraGroupOrderMoveIsAMemoHit)
+{
+    // The sink-set signature coarsening: an order move that stays
+    // inside one group leaves every group's member set (hence sink set
+    // and tiling) unchanged, so nothing re-derives — the moved group's
+    // block is re-indexed to the new order.
+    Graph g = MakeBranchy();
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator ce(g, hw);
+
+    // Two groups; the second ({b1, b2, c1, join, head}) admits legal
+    // interior moves (c1 only depends on skip, in the first group).
+    LfaEncoding lfa;
+    lfa.order = g.TopoOrder();
+    lfa.flc_cuts = {4};
+    lfa.dram_cuts = {4};
+    lfa.tiling = {2, 2};
+
+    ParseScratch scratch;
+    ParsedSchedule out;
+    ParseLfaInto(g, lfa, ce, ParseOptions{}, &scratch, &out);
+    ASSERT_TRUE(out.valid);
+    ASSERT_EQ(scratch.last_dirty_groups, 2);
+
+    LfaEncoding moved = lfa;
+    Rng rng(5);
+    ASSERT_TRUE(MutateOrderWithinGroup(g, &moved, rng));
+    ASSERT_NE(moved.order, lfa.order);
+    ParseLfaInto(g, moved, ce, ParseOptions{}, &scratch, &out);
+    ASSERT_TRUE(out.valid);
+    EXPECT_EQ(scratch.last_dirty_groups, 0);
+    EXPECT_EQ(scratch.last_clean_groups, 2);
+    EXPECT_EQ(scratch.last_remapped_groups, 1);
+
+    // Re-indexing must be invisible in the output: bit-identical to a
+    // from-scratch parse of the moved LFA.
+    ParsedSchedule full = ParseLfa(g, moved, ce);
+    EXPECT_TRUE(ParsedSchedulesIdentical(out, full));
+}
+
+TEST(IncrementalParse, SinkSetSignatureSurvivesRandomizedOrderMoves)
+{
+    // Property test for the coarsened signature: over a randomized
+    // chain of sink-set-preserving moves, every parse must be (a) a
+    // full group-memo hit — zero dirty groups — and (b) bit-identical
+    // to a from-scratch parse, enforced twice: by the explicit
+    // comparison below and by cross_check (the SOMA_LFA_CROSS_CHECK=1
+    // debug mode), which aborts the process on any divergence.
+    Graph g = MakeBranchy();
+    HardwareConfig hw = EdgeAccelerator();
+    CoreArrayEvaluator ce(g, hw);
+    ParseOptions popts;
+    popts.cross_check = true;
+
+    LfaEncoding lfa;
+    lfa.order = g.TopoOrder();
+    lfa.flc_cuts = {4};
+    lfa.dram_cuts = {};
+    lfa.tiling = {2, 4};
+
+    ParseScratch scratch;
+    ParsedSchedule out;
+    ParseLfaInto(g, lfa, ce, popts, &scratch, &out);
+    ASSERT_TRUE(out.valid);
+
+    Rng rng(91);
+    int moves = 0;
+    for (int step = 0; step < 150; ++step) {
+        LfaEncoding cand = lfa;
+        if (!MutateOrderWithinGroup(g, &cand, rng)) continue;
+        ++moves;
+        ParseLfaInto(g, cand, ce, popts, &scratch, &out);
+        ASSERT_TRUE(out.valid) << "step " << step;
+        EXPECT_EQ(scratch.last_dirty_groups, 0) << "step " << step;
+        EXPECT_EQ(scratch.last_clean_groups, cand.NumFlgs());
+        if (cand.order != lfa.order) {
+            EXPECT_GE(scratch.last_remapped_groups, 1);
+        }
+        ParsedSchedule full = ParseLfa(g, cand, ce);
+        ASSERT_TRUE(ParsedSchedulesIdentical(out, full))
+            << "step " << step << ": " << cand.ToString(g);
+        lfa = std::move(cand);
+    }
+    EXPECT_GT(moves, 30);
 }
 
 TEST(IncrementalParse, TilingCacheHitsAcrossContexts)

@@ -228,6 +228,112 @@ TEST(ResultCache, LegacyHeaderlessFilesAreMisses)
     EXPECT_EQ(cache.stats().misses, 1u);
 }
 
+TEST(ResultCache, LengthlessV2HeadersAreVersionSkew)
+{
+    // PR 4's header carried no payload length; such files cannot be
+    // torn-checked, so they count as version skew (they do carry the
+    // somacache magic) and load as misses.
+    ResultCache::Options options;
+    options.persist_dir = FreshDir("result_cache_lengthless");
+    std::filesystem::create_directories(options.persist_dir);
+    ResultCache cache(options);
+    std::ofstream raw(cache.PathFor(0x78ULL), std::ios::binary);
+    raw << "somacache " << options.version << "\n{\"ok\":true}";
+    raw.close();
+    std::string text;
+    EXPECT_FALSE(cache.Get(0x78ULL, &text));
+    EXPECT_EQ(cache.stats().version_mismatches, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCache, TornPersistedEntryLoadsAsMiss)
+{
+    // The torn-file regression: a payload shorter than its header
+    // claims (a partial copy, a crashed pre-atomic-rename writer) must
+    // load as a miss — never as garbage bytes handed to the service.
+    ResultCache::Options options;
+    options.persist_dir = FreshDir("result_cache_torn");
+    std::string path;
+    {
+        ResultCache cache(options);
+        cache.Put(0x99ULL, "{\"ok\":true,\"cost\":12345678}");
+        path = cache.PathFor(0x99ULL);
+    }
+    std::string full;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        full = ss.str();
+    }
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << full.substr(0, full.size() - 5);  // tear the tail off
+    }
+    ResultCache fresh(options);
+    std::string text;
+    EXPECT_FALSE(fresh.Get(0x99ULL, &text));
+    EXPECT_EQ(fresh.stats().misses, 1u);
+    // Torn is corruption, not version skew.
+    EXPECT_EQ(fresh.stats().version_mismatches, 0u);
+    // The next Put heals the file.
+    fresh.Put(0x99ULL, "{\"ok\":true,\"cost\":12345678}");
+    ResultCache again(options);
+    ASSERT_TRUE(again.Get(0x99ULL, &text));
+    EXPECT_EQ(text, "{\"ok\":true,\"cost\":12345678}");
+}
+
+TEST(ResultCache, HeaderTornBeforeNewlineIsCorruptionNotSkew)
+{
+    // A tear can also land inside the header itself (no newline yet):
+    // that is corruption like any other torn file — a plain miss —
+    // not version skew, even though the magic is present.
+    ResultCache::Options options;
+    options.persist_dir = FreshDir("result_cache_torn_header");
+    std::filesystem::create_directories(options.persist_dir);
+    ResultCache cache(options);
+    std::ofstream raw(cache.PathFor(0x9aULL), std::ios::binary);
+    raw << "somacache " << options.version;  // torn before the newline
+    raw.close();
+    std::string text;
+    EXPECT_FALSE(cache.Get(0x9aULL, &text));
+    EXPECT_EQ(cache.stats().version_mismatches, 0u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCache, ConcurrentWritersNeverPublishTornEntries)
+{
+    // Two caches sharing one directory (the `somac sweep --shard`
+    // topology) hammer the same fingerprint with different payloads of
+    // different lengths; thanks to temp-file + atomic rename a reader
+    // must always observe one complete payload, never an interleaving.
+    ResultCache::Options options;
+    options.persist_dir = FreshDir("result_cache_race");
+    const std::string a(2000, 'a');
+    const std::string b = std::string(4000, 'b') + "tail";
+    ResultCache w1(options), w2(options);
+    for (int round = 0; round < 20; ++round) {
+        std::thread t1([&] { w1.Put(0x5aULL, a); });
+        std::thread t2([&] { w2.Put(0x5aULL, b); });
+        t1.join();
+        t2.join();
+        ResultCache reader(options);
+        std::string text;
+        ASSERT_TRUE(reader.Get(0x5aULL, &text)) << "round " << round;
+        EXPECT_TRUE(text == a || text == b)
+            << "round " << round << ": torn payload of " << text.size()
+            << " bytes";
+    }
+    // No temp droppings left behind.
+    std::size_t files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(options.persist_dir)) {
+        ++files;
+        EXPECT_EQ(entry.path().extension(), ".json") << entry.path();
+    }
+    EXPECT_EQ(files, 1u);
+}
+
 // ------------------------------------------------------------ GraphCache
 
 TEST(GraphCache, BuildsOncePerModelBatch)
@@ -515,6 +621,172 @@ TEST(Service, NegativeMemoDisabledByZeroTtl)
     const ServiceStats stats = service->stats();
     EXPECT_EQ(stats.searches, 2u);
     EXPECT_EQ(stats.negative_hits, 0u);
+}
+
+// ------------------------------------------------------------- warm state
+
+TEST(WarmStateCache, SharesBundlesPerKeyAndEvictsLru)
+{
+    WarmStateCache cache(WarmStateCache::Options{2});
+    SearchWarmState a = cache.Acquire(1, 10);
+    ASSERT_TRUE(a.tilings);
+    ASSERT_TRUE(a.tile_costs);
+    SearchWarmState a2 = cache.Acquire(1, 10);
+    EXPECT_EQ(a.tilings.get(), a2.tilings.get());
+    EXPECT_EQ(a.tile_costs.get(), a2.tile_costs.get());
+    EXPECT_EQ(cache.stats().acquires, 2u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    // One graph across hardware points: tilings are hardware-free and
+    // shared; tile costs are per-preset.
+    SearchWarmState hw2 = cache.Acquire(1, 11);
+    EXPECT_EQ(hw2.tilings.get(), a.tilings.get());
+    EXPECT_NE(hw2.tile_costs.get(), a.tile_costs.get());
+
+    // Beyond capacity the LRU tail drops; a re-acquire starts cold but
+    // the old bundle stays safely usable by whoever still holds it.
+    cache.Acquire(2, 10);
+    cache.Acquire(3, 10);
+    EXPECT_GT(cache.stats().evictions, 0u);
+    SearchWarmState a3 = cache.Acquire(1, 10);
+    EXPECT_NE(a3.tile_costs.get(), a.tile_costs.get());
+    EXPECT_TRUE(a.tile_costs);  // in-flight holder unaffected
+
+    WarmStateCache off(WarmStateCache::Options{0});
+    SearchWarmState none = off.Acquire(1, 1);
+    EXPECT_FALSE(none.tilings);
+    EXPECT_FALSE(none.tile_costs);
+    EXPECT_EQ(off.stats().acquires, 0u);
+}
+
+TEST(Service, WarmStateIsByteIdenticalAndWarmsAcrossSeeds)
+{
+    // The warm-state determinism contract: a search that starts from
+    // another request's tilings/tile costs produces the same bytes as
+    // a fully cold one — the caches hold content-addressed pure
+    // values, so presence must not change any result.
+    ServiceOptions cold_options;
+    cold_options.warm_state_capacity = 0;  // pre-PR5 behaviour
+    auto cold = MakeService(cold_options);
+    auto warm = MakeService();  // warm state on by default
+
+    // "Identical" means every scheduling field: only the wall-clock
+    // timings under "stats" may differ between two real runs (the CI
+    // determinism check strips them the same way).
+    auto scheduling_bytes = [](const std::string &text) {
+        Json json;
+        std::string err;
+        EXPECT_TRUE(Json::Parse(text, &json, &err)) << err;
+        json.Erase("stats");
+        return json.Dump(2);
+    };
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        std::string cold_text, warm_text;
+        ScheduleResult c = cold->Schedule(TinyRequest(seed), &cold_text);
+        ScheduleResult w = warm->Schedule(TinyRequest(seed), &warm_text);
+        ASSERT_TRUE(c.ok) << c.error;
+        ASSERT_TRUE(w.ok) << w.error;
+        EXPECT_EQ(scheduling_bytes(cold_text), scheduling_bytes(warm_text))
+            << "seed " << seed;
+        EXPECT_EQ(c.stats.iterations, w.stats.iterations);
+        EXPECT_EQ(c.stats.evaluated, w.stats.evaluated);
+        EXPECT_EQ(c.stats.accepted, w.stats.accepted);
+    }
+    // A GBUF-override point of the same (model, hardware preset) is a
+    // result-cache miss but a warm-state hit: tilings are
+    // hardware-free and tile costs preset-determined.
+    ScheduleRequest dse = TinyRequest(1);
+    dse.gbuf_bytes = 1 << 20;
+    ASSERT_TRUE(warm->Schedule(dse).ok);
+
+    const ServiceStats ws = warm->stats();
+    EXPECT_EQ(ws.warm_state.acquires, 4u);
+    EXPECT_EQ(ws.warm_state.hits, 3u);  // seeds 2, 3 and the DSE point
+    EXPECT_GT(ws.warm_state.tiling_hits, 0u);
+    EXPECT_GT(ws.warm_state.tiling_entries, 0u);
+    EXPECT_GT(ws.warm_state.tile_cost_entries, 0u);
+    EXPECT_GT(ws.warm_state.approx_bytes, 0u);
+
+    const ServiceStats cs = cold->stats();
+    EXPECT_EQ(cs.warm_state.acquires, 0u);  // disabled: never acquired
+    EXPECT_EQ(cs.searches, 3u);
+}
+
+// --------------------------------------------- clock + counter correctness
+
+TEST(Service, NegativeMemoTtlRunsOnInjectedMonotonicClock)
+{
+    // The TTL must be pure monotonic-clock arithmetic: with an
+    // injected fake clock, expiry happens exactly when *that* clock
+    // passes the deadline — no sleeping, and by construction no
+    // dependence on the wall clock (whose jumps must neither
+    // mass-expire nor immortalize entries).
+    auto tick = std::make_shared<std::atomic<std::int64_t>>(0);
+    ServiceOptions options;
+    options.error_ttl_ms = 1000;
+    options.now_fn = [tick] {
+        return std::chrono::steady_clock::time_point(
+            std::chrono::milliseconds(tick->load()));
+    };
+    auto service = MakeService(options);
+    ScheduleRequest request = TinyRequest(4);
+    request.model = "late-model";
+
+    EXPECT_FALSE(service->Schedule(request).ok);  // memoized at t=0
+    tick->store(999);  // one tick before expiry: replayed from memo
+    EXPECT_FALSE(service->Schedule(request).ok);
+    EXPECT_EQ(service->stats().negative_hits, 1u);
+    EXPECT_EQ(service->stats().searches, 1u);
+
+    tick->store(1000);  // the expiry instant: entry pruned
+    service->scheduler().models().Register("late-model", BuildSvcTiny);
+    EXPECT_TRUE(service->Schedule(request).ok);
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.searches, 2u);
+    EXPECT_EQ(stats.negative_hits, 1u);
+}
+
+TEST(Service, ConcurrentScheduleKeepsCountersConsistent)
+{
+    // Counter torn-write stress (runs under the TSan CI job): threads
+    // hammer every exit door of Schedule() — cache hit, negative-memo
+    // hit, coalesced wait, real search — and the atomic counters must
+    // add up exactly afterwards.
+    ServiceOptions options;
+    options.error_ttl_ms = 60000;  // the memoized error never expires
+    auto service = MakeService(options);
+    ASSERT_TRUE(service->Schedule(TinyRequest(1)).ok);
+    ASSERT_TRUE(service->Schedule(TinyRequest(2)).ok);
+    ScheduleRequest bad = TinyRequest(3);
+    bad.model = "no-such-model";
+    EXPECT_FALSE(service->Schedule(bad).ok);  // prime the negative memo
+
+    constexpr int kThreads = 8, kIters = 30;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                switch ((t + i) % 3) {
+                  case 0: service->Schedule(TinyRequest(1)); break;
+                  case 1: service->Schedule(TinyRequest(2)); break;
+                  default: service->Schedule(bad); break;
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads) t.join();
+
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.requests,
+              3u + static_cast<std::uint64_t>(kThreads) * kIters);
+    // Every named-model request leaves through exactly one door.
+    EXPECT_EQ(stats.requests, stats.searches + stats.coalesced +
+                                  stats.negative_hits +
+                                  stats.result_cache.hits);
+    EXPECT_EQ(stats.uncacheable, 0u);
+    EXPECT_EQ(stats.errors, 1u);  // only the priming request searched
 }
 
 // ----------------------------------------------------------- cancellation

@@ -292,5 +292,46 @@ TEST(TilingCache, DistinguishesLayerOrderAndTileCount)
     EXPECT_EQ(cache.stats().misses, 3u);
 }
 
+TEST(TilingCache, SinkSetKeySharesAcrossInteriorOrders)
+{
+    // Two sibling consumers of one stem: both interior orders of the
+    // group are dependency-legal. The sink-set key makes them one
+    // entry; a hit under the other order is re-indexed, bit-identical
+    // to direct computation.
+    GraphBuilder builder("tc3", 1);
+    LayerId stem =
+        builder.InputConv("stem", ExtShape{3, 16, 16}, 8, 3, 1, 1);
+    LayerId left = builder.Conv("left", stem, 8, 3, 1, 1);
+    LayerId right = builder.Conv("right", stem, 8, 3, 1, 1);
+    builder.MarkOutput(left);
+    builder.MarkOutput(right);
+    Graph g = builder.Take();
+
+    TilingCache cache;
+    auto first = cache.Get(g, {stem, left, right}, 2);
+    ASSERT_TRUE(first->valid);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    auto swapped = cache.Get(g, {stem, right, left}, 2);
+    EXPECT_EQ(cache.stats().misses, 1u);  // same member set: no recompute
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().remaps, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    const FlgTiling direct = ComputeFlgTiling(g, {stem, right, left}, 2);
+    ASSERT_TRUE(swapped->valid);
+    ASSERT_EQ(swapped->regions.size(), direct.regions.size());
+    for (std::size_t i = 0; i < direct.regions.size(); ++i) {
+        ASSERT_EQ(swapped->regions[i].size(), direct.regions[i].size());
+        for (std::size_t t = 0; t < direct.regions[i].size(); ++t)
+            EXPECT_EQ(swapped->regions[i][t], direct.regions[i][t]);
+    }
+
+    // The stored derivation order still shares the original pointer.
+    auto again = cache.Get(g, {stem, left, right}, 2);
+    EXPECT_EQ(again.get(), first.get());
+    EXPECT_EQ(cache.stats().remaps, 1u);
+}
+
 }  // namespace
 }  // namespace soma

@@ -54,7 +54,7 @@ Usage(std::ostream &os, int code)
           "  somac sweep spec.json [--csv FILE] [--json FILE]\n"
           "            [--stats FILE] [--cache-dir DIR]\n"
           "            [--cache-capacity N] [--jobs N] [--shard I/N]\n"
-          "            [--quiet]\n"
+          "            [--repeat N] [--quiet]\n"
           "  somac fingerprint request.json [--canonical]\n"
           "  somac list models|hardware|schedulers\n"
           "  somac validate result.json\n"
@@ -92,6 +92,12 @@ Usage(std::ostream &os, int code)
           "point every shard's --cache-dir at one shared directory and\n"
           "the shards' row sets partition the unsharded sweep's table\n"
           "(equal rows, interleaved order).\n"
+          "--repeat N runs the grid N times against one service — a\n"
+          "warm-traffic self-check: somac exits non-zero unless every\n"
+          "pass reproduces the first pass's table byte-for-byte, and\n"
+          "--stats then shows the cumulative cache/warm-state counters\n"
+          "(warm-state hits come from result-cache-cold requests that\n"
+          "share a workload, e.g. the seeds axis).\n"
           "\n"
           "fingerprint prints the request's canonical 64-bit identity\n"
           "(the service-layer cache key) as 16 hex digits;\n"
@@ -748,7 +754,7 @@ int
 CmdSweep(const std::vector<std::string> &args)
 {
     std::string spec_path, csv_path, json_path, stats_path, cache_dir;
-    int cache_capacity = 0, jobs = 2;
+    int cache_capacity = 0, jobs = 2, repeat = 1;
     int shard_index = 0, shard_count = 1;
     bool quiet = false;
 
@@ -793,6 +799,15 @@ CmdSweep(const std::vector<std::string> &args)
         } else if (arg == "--shard") {
             if (!(v = need_value(i, arg))) return 2;
             if (!ParseShardArg(*v, &shard_index, &shard_count)) return 2;
+            ++i;
+        } else if (arg == "--repeat") {
+            if (!(v = need_value(i, arg))) return 2;
+            if (!ParseIntArg(arg, *v, &repeat)) return 2;
+            if (repeat < 1) {
+                std::cerr << "--repeat: need N >= 1, got " << repeat
+                          << "\n";
+                return 2;
+            }
             ++i;
         } else if (arg == "--quiet") {
             quiet = true;
@@ -865,38 +880,57 @@ CmdSweep(const std::vector<std::string> &args)
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<SweepRow> rows(requests.size());
-    for (std::size_t i = 0; i < requests.size(); ++i)
-        rows[i].request = requests[i];
-
-    // Work-stealing over the grid; rows land at their expansion index,
-    // so the table order never depends on jobs or completion order.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        for (;;) {
-            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= rows.size()) return;
-            rows[i].result = service.Schedule(rows[i].request);
+    std::string first_table;
+    for (int pass = 0; pass < repeat; ++pass) {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            rows[i].request = requests[i];
+            rows[i].result = ScheduleResult{};
         }
-    };
-    const int spawn =
-        std::max(1, std::min<int>(jobs, static_cast<int>(rows.size())));
-    std::vector<std::thread> team;
-    team.reserve(spawn - 1);
-    for (int t = 1; t < spawn; ++t) team.emplace_back(worker);
-    worker();
-    for (std::thread &t : team) t.join();
+
+        // Work-stealing over the grid; rows land at their expansion
+        // index, so the table order never depends on jobs or
+        // completion order.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= rows.size()) return;
+                rows[i].result = service.Schedule(rows[i].request);
+            }
+        };
+        const int spawn = std::max(
+            1, std::min<int>(jobs, static_cast<int>(rows.size())));
+        std::vector<std::thread> team;
+        team.reserve(spawn - 1);
+        for (int t = 1; t < spawn; ++t) team.emplace_back(worker);
+        worker();
+        for (std::thread &t : team) t.join();
+
+        // The determinism self-check behind --repeat: every pass over
+        // one grid — cold, result-cache-warm, warm-state-warm — must
+        // produce the identical table.
+        std::ostringstream table;
+        table << kSweepCsvHeader << "\n";
+        for (const SweepRow &row : rows) table << CsvRow(row) << "\n";
+        if (pass == 0) {
+            first_table = table.str();
+        } else if (table.str() != first_table) {
+            std::cerr << "[somac] sweep: pass " << pass
+                      << " diverged from pass 0 — the warm table is "
+                         "not byte-identical to the cold one\n";
+            return 1;
+        }
+    }
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
 
     // ---- emit the results table (and optional JSON/stats mirrors).
-    std::ostringstream csv;
-    csv << kSweepCsvHeader << "\n";
-    for (const SweepRow &row : rows) csv << CsvRow(row) << "\n";
     if (csv_path.empty()) {
-        std::cout << csv.str();
-    } else if (!WriteFile(csv_path, csv.str(), &err)) {
+        std::cout << first_table;
+    } else if (!WriteFile(csv_path, first_table, &err)) {
         std::cerr << err << "\n";
         return 2;
     }
@@ -919,13 +953,17 @@ CmdSweep(const std::vector<std::string> &args)
     std::size_t failed = 0;
     for (const SweepRow &row : rows)
         if (!row.result.ok) ++failed;
-    if (!quiet)
-        std::cerr << "[somac] sweep done: " << rows.size() << " requests ("
-                  << failed << " failed) in " << seconds << "s — "
+    if (!quiet) {
+        std::cerr << "[somac] sweep done: " << rows.size() << " requests";
+        if (repeat > 1) std::cerr << " x " << repeat << " passes";
+        std::cerr << " (" << failed << " failed) in " << seconds << "s — "
                   << stats.searches << " searches, "
                   << stats.result_cache.hits << " cache hits ("
                   << stats.result_cache.disk_hits << " from disk), "
-                  << stats.coalesced << " coalesced\n";
+                  << stats.coalesced << " coalesced, warm-state "
+                  << stats.warm_state.tiling_hits << " tiling hits / "
+                  << stats.warm_state.approx_bytes << " bytes\n";
+    }
     return failed == 0 ? 0 : 1;
 }
 
