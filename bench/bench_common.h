@@ -14,12 +14,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "baselines/cocco.h"
 #include "common/json.h"
+#include "common/thread_annotations.h"
 #include "hw/hardware.h"
 #include "search/soma.h"
 #include "workload/models.h"
@@ -104,20 +104,20 @@ class JsonSink {
 
     void Enable(std::string path)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         path_ = std::move(path);
     }
 
     bool enabled() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return !path_.empty();
     }
 
     void Add(const std::string &bench, const std::string &metric,
              double value)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (path_.empty()) return;
         Json row = Json::Object();
         row.Set("bench", Json::Str(bench));
@@ -129,7 +129,7 @@ class JsonSink {
     /** Writes the collected rows; true on success or when disabled. */
     bool Flush()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (path_.empty()) return true;
         std::ofstream out(path_);
         if (!out) {
@@ -145,9 +145,9 @@ class JsonSink {
   private:
     JsonSink() : rows_(Json::Array()) {}
 
-    mutable std::mutex mutex_;
-    std::string path_;
-    Json rows_;
+    mutable Mutex mutex_;  ///< lock order: leaf
+    std::string path_ SOMA_GUARDED_BY(mutex_);
+    Json rows_ SOMA_GUARDED_BY(mutex_);
 };
 
 /**

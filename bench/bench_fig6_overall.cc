@@ -20,18 +20,18 @@
 #include <cmath>
 #include <iostream>
 #include <map>
-#include <mutex>
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "common/thread_annotations.h"
 
 namespace {
 
 using namespace soma;
 using namespace soma::bench;
 
-std::mutex g_mutex;
-std::vector<ComparisonRow> g_rows;
+Mutex g_mutex;
+std::vector<ComparisonRow> g_rows SOMA_GUARDED_BY(g_mutex);
 
 void
 RunConfig(benchmark::State &state, const WorkloadConfig &cfg, int batch)
@@ -40,7 +40,7 @@ RunConfig(benchmark::State &state, const WorkloadConfig &cfg, int batch)
         ComparisonRow row = RunComparison(cfg, batch, ProfileFromEnv(),
                                           /*seed=*/1);
         {
-            std::lock_guard<std::mutex> lock(g_mutex);
+            MutexLock lock(g_mutex);
             g_rows.push_back(row);
         }
         if (row.cocco.valid && row.ours2.valid) {
@@ -76,6 +76,9 @@ RegisterAll()
 void
 PrintFigure()
 {
+    // Runs after benchmark::RunSpecifiedBenchmarks has joined every
+    // worker; the lock keeps the analysis (and TSan) satisfied.
+    MutexLock lock(g_mutex);
     Table t({"workload", "platform", "bs", "scheme", "norm core E",
              "norm DRAM E", "util%", "theory%", "avg buf%", "LGs",
              "tiles"});

@@ -52,12 +52,14 @@ Scheduler::Scheduler(const Options &options)
 
 Scheduler::~Scheduler()
 {
+    std::vector<std::thread> workers;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
+        workers = std::move(workers_);
     }
-    work_cv_.notify_all();
-    for (std::thread &t : workers_) t.join();
+    work_cv_.NotifyAll();
+    for (std::thread &t : workers) t.join();
 }
 
 ScheduleResult
@@ -83,20 +85,20 @@ Scheduler::JobId
 Scheduler::Submit(ScheduleRequest request)
 {
     auto job = std::make_shared<Job>();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     EnsureWorkersLocked();
     job->id = next_id_++;
     job->request = std::move(request);
     jobs_[job->id] = job;
     queue_.push_back(job);
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
     return job->id;
 }
 
 bool
 Scheduler::Cancel(JobId id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = jobs_.find(id);
     if (it == jobs_.end() || it->second->done) return false;
     it->second->cancelled.store(true, std::memory_order_relaxed);
@@ -106,7 +108,7 @@ Scheduler::Cancel(JobId id)
 bool
 Scheduler::Done(JobId id) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = jobs_.find(id);
     return it != jobs_.end() && it->second->done;
 }
@@ -114,7 +116,7 @@ Scheduler::Done(JobId id) const
 ScheduleResult
 Scheduler::Wait(JobId id)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
         ScheduleResult result;
@@ -123,7 +125,7 @@ Scheduler::Wait(JobId id)
         return result;
     }
     std::shared_ptr<Job> job = it->second;
-    done_cv_.wait(lock, [&] { return job->done; });
+    while (!job->done) done_cv_.Wait(mutex_);
     jobs_.erase(id);
     return std::move(job->result);
 }
@@ -131,7 +133,7 @@ Scheduler::Wait(JobId id)
 void
 Scheduler::Discard(JobId id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) return;
     if (it->second->done) {
@@ -149,9 +151,8 @@ Scheduler::WorkerLoop()
         std::shared_ptr<Job> job;
         int granted_threads = 1;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock,
-                          [&] { return stopping_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stopping_ && queue_.empty()) work_cv_.Wait(mutex_);
             if (queue_.empty()) return;  // stopping_ and fully drained
             job = queue_.front();
             queue_.pop_front();
@@ -182,13 +183,13 @@ Scheduler::WorkerLoop()
         }
 
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --inflight_;
             job->result = std::move(result);
             job->done = true;
             if (job->discarded) jobs_.erase(job->id);
         }
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
     }
 }
 

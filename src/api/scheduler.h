@@ -30,17 +30,16 @@
 #define SOMA_API_SCHEDULER_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/registry.h"
 #include "api/request.h"
+#include "common/thread_annotations.h"
 
 namespace soma {
 
@@ -78,30 +77,36 @@ class Scheduler {
 
     /** Enqueue @p request; returns immediately. Workers are started
      *  lazily on first use. */
-    JobId Submit(ScheduleRequest request);
+    JobId Submit(ScheduleRequest request) SOMA_EXCLUDES(mutex_);
 
     /** Cooperative cancel. True if the job exists and was not yet
      *  finished. A running search observes the flag within
      *  SaOptions::cancel_check_interval iterations and the job
      *  completes with error "cancelled". */
-    bool Cancel(JobId id);
+    bool Cancel(JobId id) SOMA_EXCLUDES(mutex_);
 
     /** True once the job's result is available. False for unknown
      *  (or already collected) ids. */
-    bool Done(JobId id) const;
+    bool Done(JobId id) const SOMA_EXCLUDES(mutex_);
 
     /** Block until @p id finishes and collect its result. Each job can
      *  be waited on exactly once; unknown ids yield ok=false. */
-    ScheduleResult Wait(JobId id);
+    ScheduleResult Wait(JobId id) SOMA_EXCLUDES(mutex_);
 
     /** Drop a job without collecting it: cancels it if still pending
      *  and releases its result as soon as it exists. Results are
      *  otherwise retained until Wait() — fire-and-forget traffic must
      *  Discard() (or Wait()) every job it will not collect, or the
      *  result store grows with each submission. */
-    void Discard(JobId id);
+    void Discard(JobId id) SOMA_EXCLUDES(mutex_);
 
   private:
+    /** One submitted request. `cancelled` is the lock-free cooperative
+     *  flag the search loops poll; `discarded`/`done`/`result` are
+     *  protected by the owning Scheduler's mutex_ — a cross-object
+     *  contract the analysis cannot express on these members, enforced
+     *  by the annotated Submit/Wait/Discard/WorkerLoop paths that do
+     *  all access. */
     struct Job {
         JobId id = 0;
         ScheduleRequest request;
@@ -113,23 +118,28 @@ class Scheduler {
 
     ScheduleResult RunPipeline(const ScheduleRequest &request, JobId id,
                                const std::atomic<bool> *cancelled);
-    void WorkerLoop();
-    void EnsureWorkersLocked();
+    void WorkerLoop() SOMA_EXCLUDES(mutex_);
+    void EnsureWorkersLocked() SOMA_REQUIRES(mutex_);
 
-    Options options_;
-    ModelRegistry models_;
-    HardwareRegistry hardware_;
-    SchedulerRegistry schedulers_;
+    const Options options_;
+    /* Registries are configured before scheduling starts and are not
+     * synchronized with in-flight jobs (documented contract above). */
+    ModelRegistry models_;          // somalint: allow(guarded-field)
+    HardwareRegistry hardware_;     // somalint: allow(guarded-field)
+    SchedulerRegistry schedulers_;  // somalint: allow(guarded-field)
 
-    mutable std::mutex mutex_;
-    std::condition_variable work_cv_;  ///< queue -> workers
-    std::condition_variable done_cv_;  ///< workers -> Wait()
-    std::deque<std::shared_ptr<Job>> queue_;
-    std::map<JobId, std::shared_ptr<Job>> jobs_;
-    std::vector<std::thread> workers_;
-    JobId next_id_ = 1;
-    int inflight_ = 0;  ///< jobs currently executing a pipeline
-    bool stopping_ = false;
+    /** Lock order: leaf — never held while running a pipeline or
+     *  joining a worker. */
+    mutable Mutex mutex_;
+    CondVar work_cv_;  ///< queue -> workers
+    CondVar done_cv_;  ///< workers -> Wait()
+    std::deque<std::shared_ptr<Job>> queue_ SOMA_GUARDED_BY(mutex_);
+    std::map<JobId, std::shared_ptr<Job>> jobs_ SOMA_GUARDED_BY(mutex_);
+    std::vector<std::thread> workers_ SOMA_GUARDED_BY(mutex_);
+    JobId next_id_ SOMA_GUARDED_BY(mutex_) = 1;
+    /** Jobs currently executing a pipeline. */
+    int inflight_ SOMA_GUARDED_BY(mutex_) = 0;
+    bool stopping_ SOMA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace soma

@@ -2,14 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace soma {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+Mutex g_mutex;  // serializes stderr lines only
 
 const char *
 LevelName(LogLevel level)
@@ -41,7 +42,7 @@ void
 LogMessage(LogLevel level, const std::string &msg)
 {
     if (static_cast<int>(level) < g_level.load()) return;
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     std::fprintf(stderr, "[soma %s] %s\n", LevelName(level), msg.c_str());
 }
 

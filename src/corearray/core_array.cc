@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <mutex>
 
 namespace soma {
 
@@ -50,7 +49,7 @@ const TileCost *
 TileCostMemo::Find(const TileKey &key) const
 {
     Shard &shard = ShardFor(key);
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    SharedReaderLock lock(shard.mutex);
     auto it = shard.map.find(key);
     return it == shard.map.end() ? nullptr : &it->second;
 }
@@ -59,7 +58,7 @@ const TileCost &
 TileCostMemo::Insert(const TileKey &key, const TileCost &cost)
 {
     Shard &shard = ShardFor(key);
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    SharedMutexLock lock(shard.mutex);
     return shard.map.emplace(key, cost).first->second;
 }
 
@@ -68,7 +67,7 @@ TileCostMemo::size() const
 {
     std::size_t total = 0;
     for (const Shard &shard : shards_) {
-        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        SharedReaderLock lock(shard.mutex);
         total += shard.map.size();
     }
     return total;

@@ -17,9 +17,9 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "hw/hardware.h"
 #include "tiling/tiler.h"
 #include "workload/graph.h"
@@ -100,8 +100,11 @@ class TileCostMemo {
     };
     static constexpr int kShards = 16;
     struct Shard {
-        mutable std::shared_mutex mutex;
-        std::unordered_map<TileKey, TileCost, KeyHash> map;
+        /** Lock order: leaf. Find takes it shared, Insert exclusive;
+         *  cost computation always runs outside it. */
+        mutable SharedMutex mutex;
+        std::unordered_map<TileKey, TileCost, KeyHash> map
+            SOMA_GUARDED_BY(mutex);
     };
     Shard &ShardFor(const TileKey &key) const;
 

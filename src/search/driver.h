@@ -16,6 +16,14 @@
  * deterministic exchange barriers, and ties in the final reduction
  * break toward the lowest chain id — so the result depends on the seed
  * and chain count but never on the thread count or scheduling.
+ *
+ * Concurrency model: the driver is deliberately lock-free. Workers
+ * claim whole chains from one atomic counter (RunOnWorkers) and touch
+ * only pool[i] state between the exchange barriers, which run on the
+ * calling thread after every worker has joined — so there is no
+ * mutex-guarded state here and nothing for the thread-safety analysis
+ * to annotate. Shared memo state (TilingCache / TileCostMemo) is
+ * internally synchronized behind its own leaf locks.
  */
 #ifndef SOMA_SEARCH_DRIVER_H
 #define SOMA_SEARCH_DRIVER_H

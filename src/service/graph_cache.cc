@@ -14,7 +14,7 @@ GraphCache::Get(const std::string &model, int batch,
                 const ModelRegistry &models, std::string *err)
 {
     const std::string key = model + "#" + std::to_string(batch);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = index_.find(key);
     if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
@@ -38,21 +38,21 @@ GraphCache::Get(const std::string &model, int batch,
 std::size_t
 GraphCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return lru_.size();
 }
 
 GraphCache::Stats
 GraphCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 
 void
 GraphCache::Clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     lru_.clear();
     index_.clear();
     stats_ = Stats{};

@@ -13,11 +13,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "api/registry.h"
+#include "common/thread_annotations.h"
 #include "workload/graph.h"
 
 namespace soma {
@@ -40,11 +40,12 @@ class GraphCache {
      */
     std::shared_ptr<const Graph> Get(const std::string &model, int batch,
                                      const ModelRegistry &models,
-                                     std::string *err);
+                                     std::string *err)
+        SOMA_EXCLUDES(mutex_);
 
-    std::size_t size() const;
-    Stats stats() const;
-    void Clear();
+    std::size_t size() const SOMA_EXCLUDES(mutex_);
+    Stats stats() const SOMA_EXCLUDES(mutex_);
+    void Clear() SOMA_EXCLUDES(mutex_);
 
   private:
     struct Entry {
@@ -52,11 +53,15 @@ class GraphCache {
         std::shared_ptr<const Graph> graph;
     };
 
-    std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::list<Entry> lru_;  ///< front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-    Stats stats_;
+    const std::size_t capacity_;
+    /** Lock order: leaf — model builds run under it (by design, so one
+     *  build serves concurrent requesters), but builders never call
+     *  back into the cache. */
+    mutable Mutex mutex_;
+    std::list<Entry> lru_ SOMA_GUARDED_BY(mutex_);  ///< front = MRU
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_
+        SOMA_GUARDED_BY(mutex_);
+    Stats stats_ SOMA_GUARDED_BY(mutex_);
 };
 
 }  // namespace soma

@@ -14,13 +14,31 @@
 
 namespace soma {
 
-ResultCache::ResultCache(Options options) : options_(std::move(options))
+namespace {
+
+ResultCache::Options
+SanitizeOptions(ResultCache::Options options)
 {
-    if (options_.capacity < 1) options_.capacity = 1;
+    if (options.capacity < 1) options.capacity = 1;
+    return options;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(Options options)
+    : options_(SanitizeOptions(std::move(options)))
+{
 }
 
 std::string
 ResultCache::PathFor(std::uint64_t fingerprint) const
+{
+    MutexLock lock(mutex_);
+    return PathForLocked(fingerprint);
+}
+
+std::string
+ResultCache::PathForLocked(std::uint64_t fingerprint) const
 {
     if (options_.persist_dir.empty()) return std::string();
     return options_.persist_dir + "/" + HexU64(fingerprint) + ".json";
@@ -90,7 +108,7 @@ bool
 ResultCache::LoadFromDisk(std::uint64_t fingerprint, std::string *text)
 {
     if (options_.persist_dir.empty()) return false;
-    std::ifstream in(PathFor(fingerprint), std::ios::binary);
+    std::ifstream in(PathForLocked(fingerprint), std::ios::binary);
     if (!in) return false;
     std::ostringstream ss;
     ss << in.rdbuf();
@@ -120,7 +138,7 @@ ResultCache::LoadFromDisk(std::uint64_t fingerprint, std::string *text)
     }
     if (raw.size() - payload_offset != payload_bytes ||
         payload_bytes == 0) {
-        SOMA_WARN << "result cache: torn entry " << PathFor(fingerprint)
+        SOMA_WARN << "result cache: torn entry " << PathForLocked(fingerprint)
                   << " (" << (raw.size() - payload_offset) << " of "
                   << payload_bytes << " payload bytes); treating as miss";
         return false;
@@ -152,7 +170,7 @@ ResultCache::InsertLocked(std::uint64_t fingerprint,
 bool
 ResultCache::Get(std::uint64_t fingerprint, std::string *result_json)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = index_.find(fingerprint);
     if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
@@ -175,7 +193,7 @@ ResultCache::Get(std::uint64_t fingerprint, std::string *result_json)
 void
 ResultCache::Put(std::uint64_t fingerprint, const std::string &result_json)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     InsertLocked(fingerprint, result_json);
     if (options_.persist_dir.empty()) return;
     if (!dir_ready_) {
@@ -199,7 +217,7 @@ ResultCache::Put(std::uint64_t fingerprint, const std::string &result_json)
     // disambiguates across processes, the counter across cache
     // instances and calls within one.
     static std::atomic<std::uint64_t> tmp_serial{0};
-    const std::string path = PathFor(fingerprint);
+    const std::string path = PathForLocked(fingerprint);
     const std::string tmp =
         path + ".tmp." + std::to_string(static_cast<long>(::getpid())) +
         "." + std::to_string(tmp_serial.fetch_add(1));
@@ -228,21 +246,21 @@ ResultCache::Put(std::uint64_t fingerprint, const std::string &result_json)
 std::size_t
 ResultCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return lru_.size();
 }
 
 ResultCache::Stats
 ResultCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 
 void
 ResultCache::Clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     lru_.clear();
     index_.clear();
     stats_ = Stats{};

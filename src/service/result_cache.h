@@ -25,9 +25,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/thread_annotations.h"
 
 namespace soma {
 
@@ -80,18 +81,22 @@ class ResultCache {
     /** Looks up @p fingerprint, falling back to the persistence dir on
      *  a memory miss (a disk hit repopulates memory). True on hit with
      *  the stored text in @p result_json. */
-    bool Get(std::uint64_t fingerprint, std::string *result_json);
+    bool Get(std::uint64_t fingerprint, std::string *result_json)
+        SOMA_EXCLUDES(mutex_);
 
     /** Inserts (or refreshes) an entry, evicting the LRU tail beyond
      *  capacity, and writes it through to the persistence dir. */
-    void Put(std::uint64_t fingerprint, const std::string &result_json);
+    void Put(std::uint64_t fingerprint, const std::string &result_json)
+        SOMA_EXCLUDES(mutex_);
 
-    std::size_t size() const;
-    Stats stats() const;
-    void Clear();  ///< drops memory entries (and stats); disk stays
+    std::size_t size() const SOMA_EXCLUDES(mutex_);
+    Stats stats() const SOMA_EXCLUDES(mutex_);
+    void Clear() SOMA_EXCLUDES(mutex_);  ///< drops memory entries (and
+                                         ///< stats); disk stays
 
     /** The file an entry persists to (empty when persistence is off). */
-    std::string PathFor(std::uint64_t fingerprint) const;
+    std::string PathFor(std::uint64_t fingerprint) const
+        SOMA_EXCLUDES(mutex_);
 
   private:
     struct Entry {
@@ -99,15 +104,25 @@ class ResultCache {
         std::string text;
     };
 
-    bool LoadFromDisk(std::uint64_t fingerprint, std::string *text);
-    void InsertLocked(std::uint64_t fingerprint, const std::string &text);
+    std::string PathForLocked(std::uint64_t fingerprint) const
+        SOMA_REQUIRES(mutex_);
+    bool LoadFromDisk(std::uint64_t fingerprint, std::string *text)
+        SOMA_REQUIRES(mutex_);
+    void InsertLocked(std::uint64_t fingerprint, const std::string &text)
+        SOMA_REQUIRES(mutex_);
 
-    Options options_;
-    mutable std::mutex mutex_;
-    std::list<Entry> lru_;  ///< front = most recently used
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-    Stats stats_;
-    bool dir_ready_ = false;  ///< persist_dir has been created
+    /** Lock order: leaf — never takes another lock while held (the
+     *  service may hold its own mutex when calling into the cache). */
+    mutable Mutex mutex_;
+    /** Mutated in Put: persist_dir is cleared when the directory cannot
+     *  be created (persistence turns itself off). */
+    Options options_ SOMA_GUARDED_BY(mutex_);
+    std::list<Entry> lru_ SOMA_GUARDED_BY(mutex_);  ///< front = MRU
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
+        SOMA_GUARDED_BY(mutex_);
+    Stats stats_ SOMA_GUARDED_BY(mutex_);
+    bool dir_ready_ SOMA_GUARDED_BY(mutex_) =
+        false;  ///< persist_dir has been created
 };
 
 }  // namespace soma

@@ -163,7 +163,7 @@ SchedulerService::Schedule(const ScheduleRequest &request,
 
     std::shared_ptr<Inflight> flight;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // Negative memo: a hot failing fingerprint replays its recent
         // error instead of re-running the whole search (TTL-bounded so
         // healed registries recover quickly).
@@ -171,7 +171,7 @@ SchedulerService::Schedule(const ScheduleRequest &request,
             counters_.negative_hits.fetch_add(1,
                                               std::memory_order_relaxed);
             std::string neg_text = neg->text;
-            lock.unlock();
+            lock.Unlock();
             ScheduleResult result;
             std::string err;
             if (!TryDeserialize(neg_text, &result, &err)) {
@@ -188,9 +188,9 @@ SchedulerService::Schedule(const ScheduleRequest &request,
             // hit in that race — no disk read for absent entries
             // beyond one failed open).
             if (result_cache_.Get(fingerprint, &text)) {
-                lock.unlock();
+                lock.Unlock();
                 if (serve_cached(std::move(text), &cached)) return cached;
-                lock.lock();
+                lock.Lock();
                 it = inflight_.find(fingerprint);  // re-race, rare
             }
         }
@@ -218,11 +218,11 @@ SchedulerService::Schedule(const ScheduleRequest &request,
                             "result",
                         /*deadline_expired=*/true);
                 }
-                flight->cv.wait_for(lock,
-                                    std::chrono::milliseconds(10));
+                flight->cv.WaitFor(mutex_,
+                                   std::chrono::milliseconds(10));
             }
             text = flight->text;
-            lock.unlock();
+            lock.Unlock();
             ScheduleResult result;
             std::string err;
             if (!TryDeserialize(text, &result, &err)) {
@@ -274,7 +274,7 @@ SchedulerService::RunAndPublish(const ScheduleRequest &request,
     if (!result.ok)
         counters_.errors.fetch_add(1, std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // Memoize deterministic failures for a short TTL. Cancelled and
         // deadline-shaped results reflect this caller's QoS — another
         // request with the same fingerprint could well succeed — so
@@ -284,17 +284,34 @@ SchedulerService::RunAndPublish(const ScheduleRequest &request,
             const auto now = Now();
             constexpr std::size_t kNegativeCap = 1024;
             if (negative_.size() >= kNegativeCap) {
-                // At capacity: sweep expired entries, and if a burst of
-                // distinct failures is still saturating the memo, evict
-                // an arbitrary victim — the memo is best-effort and
-                // TTL-bounded, but its size (and the per-insert work)
-                // must stay bounded too.
+                // At capacity: sweep expired entries — every expired
+                // entry goes regardless of visit order, so the hash
+                // iteration order below cannot leak into behaviour.
+                // somalint: allow(unordered-iter) expiry sweep removes
                 for (auto it = negative_.begin(); it != negative_.end();) {
                     it = now >= it->second.expires ? negative_.erase(it)
                                                   : std::next(it);
                 }
-                if (negative_.size() >= kNegativeCap)
-                    negative_.erase(negative_.begin());
+                if (negative_.size() >= kNegativeCap) {
+                    // Still saturated by live entries: evict the entry
+                    // closest to expiry (fingerprint breaks ties). The
+                    // previous erase(begin()) depended on hash iteration
+                    // order — a different victim per run/platform; the
+                    // min-scan is deterministic for a given entry set.
+                    // somalint: allow(unordered-iter) deterministic min
+                    auto victim = negative_.begin();
+                    // somalint: allow(unordered-iter) deterministic min
+                    for (auto it = std::next(victim);
+                         it != negative_.end(); ++it) {
+                        if (it->second.expires < victim->second.expires ||
+                            (it->second.expires ==
+                                 victim->second.expires &&
+                             it->first < victim->first)) {
+                            victim = it;
+                        }
+                    }
+                    negative_.erase(victim);
+                }
             }
             negative_[fingerprint] = NegativeEntry{
                 now + std::chrono::milliseconds(error_ttl_ms_),
@@ -304,7 +321,7 @@ SchedulerService::RunAndPublish(const ScheduleRequest &request,
         flight->done = true;
         inflight_.erase(fingerprint);
     }
-    flight->cv.notify_all();
+    flight->cv.NotifyAll();
     if (result_json) *result_json = std::move(text);
     return result;  // the leader keeps the in-process payload
 }

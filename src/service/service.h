@@ -48,15 +48,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "api/scheduler.h"
+#include "common/thread_annotations.h"
 #include "service/graph_cache.h"
 #include "service/result_cache.h"
 #include "service/warm_state_cache.h"
@@ -132,7 +131,8 @@ class SchedulerService {
      * requests these are the cold run's exact bytes.
      */
     ScheduleResult Schedule(const ScheduleRequest &request,
-                            std::string *result_json = nullptr);
+                            std::string *result_json = nullptr)
+        SOMA_EXCLUDES(mutex_);
 
     ServiceStats stats() const;
     ResultCache &result_cache() { return result_cache_; }
@@ -140,10 +140,15 @@ class SchedulerService {
     WarmStateCache &warm_state_cache() { return warm_state_cache_; }
 
   private:
+    /** One coalesced in-flight search. `done`/`text` are protected by
+     *  the *service's* mutex_ (waiters sleep on `cv` holding it) — a
+     *  cross-object contract Clang's analysis cannot express on these
+     *  members, so the guarantee is enforced by review plus the
+     *  annotated Schedule()/RunAndPublish() paths that do all access. */
     struct Inflight {
         bool done = false;
         std::string text;
-        std::condition_variable cv;
+        CondVar cv;
     };
     /** One memoized failure (see ServiceOptions::error_ttl_ms). */
     struct NegativeEntry {
@@ -169,26 +174,37 @@ class SchedulerService {
     ScheduleResult RunAndPublish(const ScheduleRequest &request,
                                  std::uint64_t fingerprint,
                                  const std::shared_ptr<Inflight> &flight,
-                                 std::string *result_json);
+                                 std::string *result_json)
+        SOMA_EXCLUDES(mutex_);
 
     /** The fresh error memo entry for @p fingerprint, if any (prunes an
-     *  expired one). Caller must hold mutex_. */
-    const NegativeEntry *FindNegativeLocked(std::uint64_t fingerprint);
+     *  expired one). */
+    const NegativeEntry *FindNegativeLocked(std::uint64_t fingerprint)
+        SOMA_REQUIRES(mutex_);
 
     /** The injected (or steady_clock) monotonic now. */
     std::chrono::steady_clock::time_point Now() const;
 
     const int error_ttl_ms_;  ///< ServiceOptions::error_ttl_ms
     const std::function<std::chrono::steady_clock::time_point()> now_fn_;
-    Scheduler scheduler_;
-    ResultCache result_cache_;
-    GraphCache graph_cache_;
-    WarmStateCache warm_state_cache_;
+    /* The wrapped facade and the three caches synchronize internally
+     * (each owns its own leaf lock); mutex_ below only covers the
+     * coalescing map and the error memo. */
+    Scheduler scheduler_;            // somalint: allow(guarded-field)
+    ResultCache result_cache_;       // somalint: allow(guarded-field)
+    GraphCache graph_cache_;         // somalint: allow(guarded-field)
+    WarmStateCache warm_state_cache_;// somalint: allow(guarded-field)
 
-    mutable std::mutex mutex_;  ///< inflight + error memo
-    std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> inflight_;
-    std::unordered_map<std::uint64_t, NegativeEntry> negative_;
-    Counters counters_;
+    /** Lock order: mutex_ may be held while calling into the result
+     *  cache (the under-registration recheck) — so mutex_ comes BEFORE
+     *  every cache-internal lock, and the caches never call back into
+     *  the service. */
+    mutable Mutex mutex_;  ///< inflight + error memo
+    std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> inflight_
+        SOMA_GUARDED_BY(mutex_);
+    std::unordered_map<std::uint64_t, NegativeEntry> negative_
+        SOMA_GUARDED_BY(mutex_);
+    Counters counters_;  // somalint: allow(guarded-field) all-atomic struct
 };
 
 }  // namespace soma

@@ -26,7 +26,7 @@ SearchWarmState
 WarmStateCache::Acquire(std::uint64_t graph_key, std::uint64_t hw_key)
 {
     if (capacity_ == 0) return SearchWarmState{};
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.acquires;
     auto [tilings, tilings_resident] =
         tilings_.Touch(graph_key, capacity_, &stats_.evictions);
@@ -46,7 +46,7 @@ WarmStateCache::Acquire(std::uint64_t graph_key, std::uint64_t hw_key)
 WarmStateCache::Stats
 WarmStateCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Stats out = stats_;
     for (const auto &entry : tilings_.list) {
         const TilingCache::Stats ts = entry.value->stats();
@@ -66,14 +66,14 @@ WarmStateCache::stats() const
 std::size_t
 WarmStateCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return tile_costs_.list.size();
 }
 
 void
 WarmStateCache::Clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tilings_.list.clear();
     tilings_.index.clear();
     tile_costs_.list.clear();

@@ -37,10 +37,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "search/warm_state.h"
 
 namespace soma {
@@ -81,11 +81,14 @@ class WarmStateCache {
      * caches on first sight. Thread-safe; concurrent acquirers of one
      * key share the same instances. Empty bundle when disabled.
      */
-    SearchWarmState Acquire(std::uint64_t graph_key, std::uint64_t hw_key);
+    SearchWarmState Acquire(std::uint64_t graph_key, std::uint64_t hw_key)
+        SOMA_EXCLUDES(mutex_);
 
-    Stats stats() const;
-    std::size_t size() const;  ///< resident TileCostMemo count
-    void Clear();              ///< drops resident state and counters
+    Stats stats() const SOMA_EXCLUDES(mutex_);
+    /** Resident TileCostMemo count. */
+    std::size_t size() const SOMA_EXCLUDES(mutex_);
+    /** Drops resident state and counters. */
+    void Clear() SOMA_EXCLUDES(mutex_);
 
   private:
     template <typename V> struct Lru {
@@ -122,10 +125,15 @@ class WarmStateCache {
     };
 
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
-    Lru<TilingCache> tilings_;     ///< by graph_key
-    Lru<TileCostMemo> tile_costs_; ///< by (graph_key, hw_key) fold
-    Stats stats_;                  ///< counters only; snapshot fills rest
+    /** Lock order: taken before the resident TilingCache shard locks
+     *  (stats() aggregates resident caches while holding it); those are
+     *  leaves and never call back up. */
+    mutable Mutex mutex_;
+    Lru<TilingCache> tilings_ SOMA_GUARDED_BY(mutex_);  ///< by graph_key
+    /** By (graph_key, hw_key) fold. */
+    Lru<TileCostMemo> tile_costs_ SOMA_GUARDED_BY(mutex_);
+    /** Counters only; the stats() snapshot fills the rest. */
+    Stats stats_ SOMA_GUARDED_BY(mutex_);
 };
 
 }  // namespace soma

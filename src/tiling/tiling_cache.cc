@@ -1,7 +1,6 @@
 #include "tiling/tiling_cache.h"
 
 #include <algorithm>
-#include <mutex>
 
 namespace soma {
 
@@ -45,7 +44,7 @@ TilingCache::Get(const Graph &graph, const std::vector<LayerId> &flg_layers,
         std::shared_ptr<const FlgTiling> tiling;
         std::vector<LayerId> stored_order;
         {
-            std::shared_lock<std::shared_mutex> lock(shard.mutex);
+            SharedReaderLock lock(shard.mutex);
             auto it = shard.map.find(key);
             if (it != shard.map.end()) {
                 shard.hits.fetch_add(1, std::memory_order_relaxed);
@@ -62,7 +61,7 @@ TilingCache::Get(const Graph &graph, const std::vector<LayerId> &flg_layers,
     }
     auto tiling = std::make_shared<const FlgTiling>(
         ComputeFlgTiling(graph, flg_layers, tiles));
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    SharedMutexLock lock(shard.mutex);
     shard.misses.fetch_add(1, std::memory_order_relaxed);
     if (shard.map.size() >= kMaxEntriesPerShard) shard.map.clear();
     // A racing thread may have published first; both computed pure
@@ -95,7 +94,7 @@ TilingCache::size() const
 {
     std::size_t total = 0;
     for (const Shard &shard : shards_) {
-        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        SharedReaderLock lock(shard.mutex);
         total += shard.map.size();
     }
     return total;
@@ -106,7 +105,7 @@ TilingCache::ApproxBytes() const
 {
     std::size_t total = 0;
     for (const Shard &shard : shards_) {
-        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        SharedReaderLock lock(shard.mutex);
         for (const auto &[key, value] : shard.map) {
             total += sizeof(key) + sizeof(value) +
                      (key.members.size() + value.order.size()) *

@@ -39,10 +39,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "tiling/tiler.h"
 
 namespace soma {
@@ -110,8 +110,11 @@ class TilingCache {
     };
     static constexpr int kShards = 8;
     struct Shard {
-        mutable std::shared_mutex mutex;
-        std::unordered_map<Key, Value, KeyHash> map;
+        /** Lock order: leaf. Reads take it shared, publishes exclusive;
+         *  ComputeFlgTiling always runs outside it. */
+        mutable SharedMutex mutex;
+        std::unordered_map<Key, Value, KeyHash> map
+            SOMA_GUARDED_BY(mutex);
         std::atomic<std::uint64_t> hits{0};
         std::atomic<std::uint64_t> misses{0};
         std::atomic<std::uint64_t> remaps{0};

@@ -1,0 +1,54 @@
+// Fixture: clean code — every somalint check must stay quiet.
+//
+// Deliberately exercises the look-alikes each check must NOT flag:
+// steady_clock (not system_clock), a member named time(), sorted-map
+// iteration in a serializing file, annotated Mutex wrappers, and a
+// capability class whose fields are all guarded/atomic/const.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+struct Sample {
+    double time() const { return seconds; }  // member call: not libc time()
+    double seconds = 0.0;
+};
+
+// A "sensitive" file (mentions Serialize) — but the only iterations are
+// over an ordered std::map and a lookup into the unordered index.
+class CleanStore {
+  public:
+    std::string Serialize() const SOMA_EXCLUDES(mutex_)
+    {
+        soma::MutexLock lock(mutex_);
+        std::string out;
+        for (const auto &kv : ordered_) out += kv.first;  // std::map: fine
+        auto it = index_.find("x");  // lookup, not iteration: fine
+        if (it != index_.end()) out += it->second;
+        return out;
+    }
+
+    void Record(std::chrono::steady_clock::time_point tp)
+        SOMA_EXCLUDES(mutex_)
+    {
+        soma::MutexLock lock(mutex_);
+        last_ = tp;  // steady_clock: the allowed clock
+    }
+
+  private:
+    mutable soma::Mutex mutex_;
+    std::map<std::string, std::string> ordered_ SOMA_GUARDED_BY(mutex_);
+    std::unordered_map<std::string, std::string> index_
+        SOMA_GUARDED_BY(mutex_);
+    std::chrono::steady_clock::time_point last_ SOMA_GUARDED_BY(mutex_);
+    std::atomic<std::uint64_t> hits_{0};
+    const int capacity_ = 8;
+};
+
+}  // namespace fixture

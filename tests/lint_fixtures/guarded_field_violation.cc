@@ -1,0 +1,27 @@
+// Fixture: a Mutex-holding class with naked mutable fields — each one
+// must either say what guards it or be waived.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class HalfAnnotated {
+  public:
+    void Add(std::string s) SOMA_EXCLUDES(mutex_)
+    {
+        soma::MutexLock lock(mutex_);
+        items_.push_back(std::move(s));
+        ++count_;
+    }
+
+  private:
+    mutable soma::Mutex mutex_;
+    std::vector<std::string> items_ SOMA_GUARDED_BY(mutex_);  // fine
+    std::uint64_t count_ = 0;  // finding: guarded-field
+    bool dirty_ = false;       // finding: guarded-field
+};
+
+}  // namespace fixture

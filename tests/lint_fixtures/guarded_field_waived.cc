@@ -1,0 +1,32 @@
+// Fixture: unguarded fields in a Mutex-holding class, each carrying a
+// waiver (the internally-synchronized-subobject pattern the service
+// layer uses) — the lint must stay quiet.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+struct InnerCache {
+    void Touch() {}
+};
+
+class WaivedFields {
+  public:
+    void Add(std::string s) SOMA_EXCLUDES(mutex_)
+    {
+        soma::MutexLock lock(mutex_);
+        items_.push_back(std::move(s));
+    }
+
+  private:
+    mutable soma::Mutex mutex_;
+    std::vector<std::string> items_ SOMA_GUARDED_BY(mutex_);
+    InnerCache cache_;  // somalint: allow(guarded-field) self-locking
+    // somalint: allow(guarded-field) written once before threads start
+    std::uint64_t config_epoch_ = 0;
+};
+
+}  // namespace fixture

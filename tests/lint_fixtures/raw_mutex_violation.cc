@@ -1,0 +1,24 @@
+// Fixture: raw standard-library synchronization primitives — invisible
+// to clang's thread-safety analysis, so banned outside
+// common/thread_annotations.h.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class RawLocking {
+  public:
+    void Poke()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);  // findings: raw-mutex
+        ++value_;
+        cv_.notify_one();
+    }
+
+  private:
+    std::mutex mutex_;               // finding: raw-mutex
+    std::condition_variable cv_;     // finding: raw-mutex
+    int value_ = 0;
+};
+
+}  // namespace fixture

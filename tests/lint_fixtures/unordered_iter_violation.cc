@@ -1,0 +1,25 @@
+// Fixture: hash-order iteration reaching canonical bytes. The file is
+// "sensitive" (defines Serialize), and both a range-for and an explicit
+// iterator walk traverse an unordered_map feeding the output.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class LeakyDump {
+  public:
+    std::string Serialize() const
+    {
+        std::string out;
+        for (const auto &kv : entries_)  // finding: unordered-iter
+            out += kv.first + "=" + kv.second + "\n";
+        for (auto it = entries_.begin(); it != entries_.end(); ++it)
+            out += it->first;  // findings: .begin() + iterator loop
+        return out;
+    }
+
+  private:
+    std::unordered_map<std::string, std::string> entries_;
+};
+
+}  // namespace fixture

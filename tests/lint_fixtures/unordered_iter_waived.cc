@@ -1,0 +1,33 @@
+// Fixture: order-independent folds over unordered containers with
+// waivers — the lint must stay quiet. (Also shows the non-sensitive
+// escape hatch: without Serialize/Fingerprint/... in the file these
+// loops would not be checked at all.)
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class WaivedSums {
+  public:
+    std::size_t SerializeSize() const
+    {
+        std::size_t bytes = 0;
+        // somalint: allow(unordered-iter) order-independent sum
+        for (const auto &kv : entries_) bytes += kv.second.size();
+        return bytes;
+    }
+
+    void Sweep()
+    {
+        // somalint: allow(unordered-iter) removes every empty entry
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            it = it->second.empty() ? entries_.erase(it) : ++it;
+        }
+    }
+
+  private:
+    std::unordered_map<std::string, std::string> entries_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: wallclock violations — system_clock TTL arithmetic and a
+// libc rand/time seed, the exact patterns that break the repo's
+// clock-jump immunity and seeded reproducibility.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+inline long
+ExpiryFromWallClock()
+{
+    auto now = std::chrono::system_clock::now();  // finding: wallclock
+    return now.time_since_epoch().count();
+}
+
+inline int
+BadSeed()
+{
+    std::srand(static_cast<unsigned>(std::time(nullptr)));  // 2 findings
+    return std::rand();  // finding: wallclock
+}
+
+}  // namespace fixture

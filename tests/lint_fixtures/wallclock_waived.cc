@@ -1,0 +1,25 @@
+// Fixture: the same wallclock offenses, each carrying a waiver — the
+// lint must stay quiet.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+inline long
+StampForHumans()
+{
+    // somalint: allow(wallclock) user-facing log timestamp, not a TTL
+    auto now = std::chrono::system_clock::now();
+    return now.time_since_epoch().count();
+}
+
+inline int
+LegacySeed()
+{
+    std::srand(12345);  // somalint: allow(wallclock) fixed legacy seed
+    // somalint: allow(wallclock) exercising the waived path
+    return std::rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * somalint behaves as specified: every check fires on its seeded
+ * fixture violation, stays quiet on clean code, honors per-line
+ * waivers, reports deterministically — and the repo's own tree passes
+ * (the same gate CI enforces).
+ *
+ * The tests drive the real binary (SOMALINT_BIN, injected by CMake)
+ * through popen, asserting on exit codes and the `path:line: [check]`
+ * report lines.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+    int exit_code = -1;
+    std::string output;
+};
+
+LintRun
+RunLint(const std::string &args)
+{
+    const std::string cmd = std::string(SOMALINT_BIN) + " " + args + " 2>&1";
+    LintRun run;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    if (!pipe) return run;
+    char buf[4096];
+    while (std::fgets(buf, sizeof buf, pipe)) run.output += buf;
+    const int status = pclose(pipe);
+    run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return run;
+}
+
+std::string
+Fixture(const char *name)
+{
+    return std::string(SOMA_LINT_FIXTURES) + "/" + name;
+}
+
+int
+CountFindings(const std::string &output, const std::string &check)
+{
+    const std::string needle = "[" + check + "]";
+    int n = 0;
+    for (std::size_t pos = output.find(needle); pos != std::string::npos;
+         pos = output.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST(Somalint, CleanFixtureIsQuiet)
+{
+    const LintRun run = RunLint(Fixture("clean.cc"));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    EXPECT_EQ(run.output, "");
+}
+
+TEST(Somalint, WallclockFiresOnSystemClockAndLibcRandomness)
+{
+    const LintRun run = RunLint(Fixture("wallclock_violation.cc"));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_GE(CountFindings(run.output, "wallclock"), 3) << run.output;
+    EXPECT_NE(run.output.find("system_clock"), std::string::npos);
+    EXPECT_NE(run.output.find("rand"), std::string::npos);
+}
+
+TEST(Somalint, WallclockWaiverIsHonored)
+{
+    const LintRun run = RunLint(Fixture("wallclock_waived.cc"));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Somalint, UnorderedIterFiresOnHashOrderTraversal)
+{
+    const LintRun run = RunLint(Fixture("unordered_iter_violation.cc"));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    // The range-for and the explicit iterator loop each report once.
+    EXPECT_EQ(CountFindings(run.output, "unordered-iter"), 2)
+        << run.output;
+    EXPECT_NE(run.output.find("entries_"), std::string::npos);
+}
+
+TEST(Somalint, UnorderedIterWaiverIsHonored)
+{
+    const LintRun run = RunLint(Fixture("unordered_iter_waived.cc"));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Somalint, RawMutexFiresOutsideThreadAnnotations)
+{
+    const LintRun run = RunLint(Fixture("raw_mutex_violation.cc"));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_GE(CountFindings(run.output, "raw-mutex"), 3) << run.output;
+    EXPECT_NE(run.output.find("std::mutex"), std::string::npos);
+    EXPECT_NE(run.output.find("std::condition_variable"),
+              std::string::npos);
+}
+
+TEST(Somalint, GuardedFieldFiresOnNakedMutableFields)
+{
+    const LintRun run = RunLint(Fixture("guarded_field_violation.cc"));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_EQ(CountFindings(run.output, "guarded-field"), 2)
+        << run.output;
+    EXPECT_NE(run.output.find("count_"), std::string::npos);
+    EXPECT_NE(run.output.find("dirty_"), std::string::npos);
+    // The annotated sibling field must NOT be flagged.
+    EXPECT_EQ(run.output.find("items_"), std::string::npos) << run.output;
+}
+
+TEST(Somalint, GuardedFieldWaiverIsHonored)
+{
+    const LintRun run = RunLint(Fixture("guarded_field_waived.cc"));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Somalint, WholeFixtureDirectoryAggregatesFindings)
+{
+    const LintRun run = RunLint(std::string(SOMA_LINT_FIXTURES));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    // Every check class is represented in the directory sweep.
+    EXPECT_GE(CountFindings(run.output, "wallclock"), 3);
+    EXPECT_GE(CountFindings(run.output, "unordered-iter"), 2);
+    EXPECT_GE(CountFindings(run.output, "raw-mutex"), 3);
+    EXPECT_GE(CountFindings(run.output, "guarded-field"), 2);
+}
+
+TEST(Somalint, OutputIsDeterministic)
+{
+    const std::string dir(SOMA_LINT_FIXTURES);
+    const LintRun a = RunLint(dir);
+    const LintRun b = RunLint(dir);
+    EXPECT_EQ(a.exit_code, b.exit_code);
+    EXPECT_EQ(a.output, b.output);
+}
+
+TEST(Somalint, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(RunLint("").exit_code, 2);
+    EXPECT_EQ(RunLint("/no/such/path/anywhere.cc").exit_code, 2);
+}
+
+// The gate CI enforces: the repo's own sources, tools and benches are
+// lint-clean. A regression here is a real finding — fix it or waive it
+// with a reason, exactly as in CI.
+TEST(Somalint, RepositoryTreeIsClean)
+{
+    const std::string root(SOMA_SOURCE_ROOT);
+    const LintRun run = RunLint(root + "/src " + root + "/tools " + root +
+                                "/bench");
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+}  // namespace
