@@ -19,15 +19,25 @@
  * TilingCache), with a cross-check pass asserting the incremental
  * parses bit-identical to full parses. CI gates lfa/incremental at
  * >= 2x lfa/legacy.
+ *
+ * An observability section replays the incremental walk with the
+ * SOMA_PROF_SCOPE hot-path hooks disabled (the default) and enabled
+ * (what --trace/--stats turn on), and microbenches the cost of one
+ * disabled scope. CI gates obs/disabled_overhead_pct — the estimated
+ * per-candidate cost of the dormant instrumentation — at < 2%.
+ *
  * Profiles: SOMA_BENCH_PROFILE=quick|default|full scales the budgets.
  *
  * Run: ./build/bench_sa_throughput [--json <path>]
  */
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
+#include <cstdint>
 #include <string>
 
 #include "bench_common.h"
+#include "obs/clock.h"
+#include "obs/prof.h"
 #include "search/dlsa_heuristics.h"
 #include "search/dlsa_stage.h"
 #include "search/driver.h"
@@ -37,15 +47,33 @@
 #include "workload/graph_builder.h"
 #include "workload/models.h"
 
+#if defined(__GNUC__)
+#define BENCH_NOINLINE __attribute__((noinline))
+#else
+#define BENCH_NOINLINE
+#endif
+
 namespace {
 
 using namespace soma;
-using Clock = std::chrono::steady_clock;
+using obs::MonotonicNow;
+using obs::MonotonicTime;
+using obs::SecondsSince;
 
-double
-SecondsSince(Clock::time_point t0)
+/** The two probes behind obs/disabled_overhead_pct: an identical tiny
+ *  body with and without a SOMA_PROF_SCOPE, kept out of line so the
+ *  timed loops measure the scope, not the inliner. */
+BENCH_NOINLINE std::uint64_t
+ProbeBaseline(std::uint64_t x)
 {
-    return std::chrono::duration<double>(Clock::now() - t0).count();
+    return x * 2654435761ULL + 12345;
+}
+
+BENCH_NOINLINE std::uint64_t
+ProbeWithScope(std::uint64_t x)
+{
+    SOMA_PROF_SCOPE("bench.disabled_probe");
+    return x * 2654435761ULL + 12345;
 }
 
 struct Row {
@@ -91,7 +119,7 @@ DlsaWalk(const std::string &name, const ParsedSchedule &parsed,
     double current_cost = initial_cost;
     Row row;
     row.name = name;
-    Clock::time_point t0 = Clock::now();
+    const MonotonicTime t0 = MonotonicNow();
     for (int i = 0; i < iters; ++i) {
         if (!mutate(current, &cand, rng, &delta)) continue;
         double c = evaluate(cand, delta);
@@ -227,7 +255,7 @@ main(int argc, char **argv)
             Rng rng(23);
             LfaEncoding cur = lfa, cand;
             int candidates = 0;
-            Clock::time_point t0 = Clock::now();
+            const MonotonicTime t0 = MonotonicNow();
             for (int i = 0; i < lfa_iters; ++i) {
                 if (!MutateLfaEncoding(graph, cur, &cand, 64, rng))
                     continue;
@@ -260,7 +288,7 @@ main(int argc, char **argv)
             DlsaEncoding dlsa_scratch;
             LfaEncoding cur = lfa, cand;
             int candidates = 0;
-            Clock::time_point t0 = Clock::now();
+            const MonotonicTime t0 = MonotonicNow();
             for (int i = 0; i < lfa_iters; ++i) {
                 if (!MutateLfaEncoding(graph, cur, &cand, 64, rng))
                     continue;
@@ -329,7 +357,7 @@ main(int argc, char **argv)
         Row row;
         row.name = "driver/" + std::to_string(chains) + "x" +
                    std::to_string(std::min(chains, hw_threads));
-        Clock::time_point t0 = Clock::now();
+        const MonotonicTime t0 = MonotonicNow();
         DlsaStageResult res = RunDlsaStage(graph, hw, parsed, initial,
                                            hw.gbuf_bytes, opts, rng);
         row.seconds = SecondsSince(t0);
@@ -340,6 +368,82 @@ main(int argc, char **argv)
                 "threads):\n",
                 stage_cap, hw_threads);
     PrintRows(driver_rows, driver_rows.front().name);
+
+    // ---------------------------- observability overhead (obs layer)
+    // The context-incr walk crosses two SOMA_PROF_SCOPE sites per
+    // candidate (eval.delta + eval.timeline). Replay it with the hooks
+    // dormant (default) and recording (ProfEnableScope — what
+    // --trace/--stats hold), then microbench one *disabled* scope to
+    // estimate the cost instrumentation adds when nobody is looking.
+    {
+        auto incr_walk = [&](const std::string &name) {
+            EvalContext ctx;
+            ctx.Evaluate(graph, hw, parsed, initial, hw.gbuf_bytes,
+                         total_ops);
+            ctx.Commit();
+            return DlsaWalk(
+                name, parsed, initial, initial_cost, dlsa_iters,
+                [&](const DlsaEncoding &d, const DlsaDelta &delta) {
+                    return ctx
+                        .EvaluateDelta(graph, hw, parsed, d, delta,
+                                       hw.gbuf_bytes, total_ops)
+                        .Cost();
+                },
+                [&] { ctx.Commit(); });
+        };
+        std::vector<Row> obs_rows;
+        obs_rows.push_back(incr_walk("obs/tracing_off"));
+        const std::vector<obs::ProfEntry> before = obs::ProfSnapshot();
+        double timeline_share = 0.0;
+        {
+            obs::ProfEnableScope hold;
+            obs_rows.push_back(incr_walk("obs/tracing_on"));
+            const std::vector<obs::ProfEntry> after = obs::ProfSnapshot();
+            const std::uint64_t timeline_nanos =
+                obs::ProfNanos(after, "eval.timeline") -
+                obs::ProfNanos(before, "eval.timeline");
+            const double wall = obs_rows.back().seconds;
+            if (wall > 0.0)
+                timeline_share =
+                    std::min(1.0, timeline_nanos * 1e-9 / wall);
+        }
+
+        // One disabled scope = one relaxed load + branch; measure it as
+        // (with-scope - baseline) over a long probe loop. The sink
+        // keeps the probes from being folded away.
+        const int probe_iters = 10000000;
+        std::uint64_t acc = 1;
+        MonotonicTime t0 = MonotonicNow();
+        for (int i = 0; i < probe_iters; ++i) acc = ProbeBaseline(acc);
+        const double base_s = SecondsSince(t0);
+        t0 = MonotonicNow();
+        for (int i = 0; i < probe_iters; ++i) acc = ProbeWithScope(acc);
+        const double scoped_s = SecondsSince(t0);
+        volatile std::uint64_t sink = acc;
+        (void)sink;
+        const double scope_ns = std::max(
+            0.0, (scoped_s - base_s) * 1e9 / probe_iters);
+        const Row &off = obs_rows.front();
+        const double cand_ns =
+            off.candidates > 0 ? off.seconds * 1e9 / off.candidates : 0.0;
+        const double overhead_pct =
+            cand_ns > 0.0 ? 100.0 * (2.0 * scope_ns) / cand_ns : 0.0;
+
+        std::printf("\nobservability (context-incr walk, %d iterations):"
+                    "\n",
+                    dlsa_iters);
+        PrintRows(obs_rows, "obs/tracing_off");
+        std::printf("  disabled scope: %.2f ns/scope -> %.3f%% of a "
+                    "%.0f ns candidate (2 scopes); timeline share "
+                    "(enabled) %.3f\n",
+                    scope_ns, overhead_pct, cand_ns, timeline_share);
+        bench::JsonSink::Instance().Add("sa_throughput/obs/"
+                                        "disabled_overhead_pct",
+                                        "percent", overhead_pct);
+        bench::JsonSink::Instance().Add("sa_throughput/prof/"
+                                        "timeline_share", "share",
+                                        timeline_share);
+    }
 
     const Row &incr = dlsa_rows.back();
     const Row &legacy = dlsa_rows.front();

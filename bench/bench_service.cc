@@ -25,24 +25,19 @@
  *
  * Run: ./build/bench_service [--json <path>]
  */
-#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/clock.h"
 #include "service/service.h"
 
 namespace {
 
 using namespace soma;
-using Clock = std::chrono::steady_clock;
-
-double
-SecondsSince(Clock::time_point t0)
-{
-    return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+using obs::MonotonicNow;
+using obs::SecondsSince;
 
 ScheduleRequest
 SweepPoint(SearchProfile profile, std::uint64_t seed)
@@ -89,7 +84,7 @@ main(int argc, char **argv)
     SchedulerService service;
 
     // ------------------------------------------------- cold traffic
-    Clock::time_point t0 = Clock::now();
+    obs::MonotonicTime t0 = MonotonicNow();
     for (int i = 0; i < requests; ++i) {
         ScheduleResult r =
             service.Schedule(SweepPoint(search_profile, 1 + i));
@@ -103,7 +98,7 @@ main(int argc, char **argv)
     const double cold_rps = requests / cold_s;
 
     // ------------------------------------------------- warm traffic
-    t0 = Clock::now();
+    t0 = MonotonicNow();
     for (int i = 0; i < requests; ++i) {
         ScheduleResult r =
             service.Schedule(SweepPoint(search_profile, 1 + i));
@@ -132,7 +127,7 @@ main(int argc, char **argv)
     std::vector<std::thread> callers;
     callers.reserve(burst);
     const ScheduleRequest shared = SweepPoint(search_profile, 7777);
-    t0 = Clock::now();
+    t0 = MonotonicNow();
     for (int i = 0; i < burst; ++i)
         callers.emplace_back([&] { service.Schedule(shared); });
     for (std::thread &t : callers) t.join();
@@ -161,7 +156,7 @@ main(int argc, char **argv)
     double off_s, on_s;
     {
         SchedulerService svc(state_off);
-        t0 = Clock::now();
+        t0 = MonotonicNow();
         for (int i = 0; i < requests; ++i) {
             ScheduleResult r =
                 svc.Schedule(SweepPoint(search_profile, 1001 + i));
@@ -176,7 +171,7 @@ main(int argc, char **argv)
     std::uint64_t state_tiling_hits = 0;
     {
         SchedulerService svc;  // warm state on (default)
-        t0 = Clock::now();
+        t0 = MonotonicNow();
         for (int i = 0; i < requests; ++i) {
             ScheduleResult r =
                 svc.Schedule(SweepPoint(search_profile, 1001 + i));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/hash.h"
+#include "obs/clock.h"
 
 namespace soma {
 
@@ -457,18 +458,20 @@ ScheduleResult::FromJson(const Json &json, ScheduleResult *out,
 
 namespace {
 
-/** The cooperative-stop wiring shared by both option resolvers: point
- *  the driver at the request's cancel flag and deadline cutoff. The
- *  facade pre-resolves deadline_tp at pipeline start; requests built
- *  outside a pipeline (direct option-resolver callers) anchor here. */
+/** The runtime-hook wiring shared by both option resolvers: point the
+ *  driver at the request's cancel flag, deadline cutoff and span
+ *  tracer. The facade pre-resolves deadline_tp at pipeline start;
+ *  requests built outside a pipeline (direct option-resolver callers)
+ *  anchor here. */
 void
 ApplyStopRequest(const ScheduleRequest &request, SearchDriverOptions *driver)
 {
     driver->cancel = request.cancel;
+    driver->trace = request.trace;
     if (request.deadline_tp.time_since_epoch().count() != 0) {
         driver->deadline = request.deadline_tp;
     } else if (request.deadline_ms > 0) {
-        driver->deadline = std::chrono::steady_clock::now() +
+        driver->deadline = obs::MonotonicNow() +
                            std::chrono::milliseconds(request.deadline_ms);
     }
 }

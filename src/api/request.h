@@ -34,6 +34,10 @@
 
 namespace soma {
 
+namespace obs {
+class Tracer;
+}
+
 /** Search effort presets mapping onto the DESIGN.md budget table. */
 enum class SearchProfile { kQuick, kDefault, kFull };
 
@@ -134,6 +138,16 @@ struct ScheduleRequest {
      * from Fingerprint().
      */
     SearchWarmState warm_state;
+
+    /**
+     * Optional span tracer (obs/trace.h): when set, the pipeline and
+     * the search stages record phase spans onto it (Chrome trace-event
+     * JSON via Tracer::ToJson; `somac run --trace` is the CLI face).
+     * Observational only — results are byte-identical with and without
+     * a tracer (pinned by test) — so, like `threads`, it is not
+     * serialized and excluded from Fingerprint().
+     */
+    obs::Tracer *trace = nullptr;
 
     Json ToJson() const;
     /** Strict: unknown keys and type mismatches are errors. */

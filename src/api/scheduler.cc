@@ -2,24 +2,25 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "compiler/instruction_gen.h"
 #include "compiler/ir.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
 #include "sim/trace.h"
 
 namespace soma {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double
-SecondsSince(Clock::time_point t0)
-{
-    return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+using obs::MonotonicNow;
+using obs::MonotonicTime;
+using obs::SecondsSince;
 
 /** Copy the request-identity fields every result carries. A request
  *  that names a model echoes that name even when a pre-built graph is
@@ -36,6 +37,74 @@ EchoRequest(const ScheduleRequest &request, ScheduleResult *result)
     result->scheduler = request.scheduler;
     result->profile = request.profile;
     result->seed = request.seed;
+}
+
+/**
+ * Post-search bookkeeping shared by every pipeline run: feed the
+ * process-wide metrics registry (request/search counters, the
+ * timeline-evaluation share of search time) and, for traced requests,
+ * synthesize aggregate spans from the hot-path prof deltas.
+ */
+void
+RecordSearchObservations(const ScheduleRequest &request,
+                         double search_seconds,
+                         const std::vector<obs::ProfEntry> &before,
+                         MonotonicTime t_search, MonotonicTime t_search_end)
+{
+    const std::vector<obs::ProfEntry> after = obs::ProfSnapshot();
+    const std::uint64_t timeline_nanos =
+        obs::ProfNanos(after, "eval.timeline") -
+        obs::ProfNanos(before, "eval.timeline");
+    const double timeline_share =
+        search_seconds > 0.0
+            ? std::min(1.0, timeline_nanos * 1e-9 / search_seconds)
+            : 0.0;
+
+    auto &reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("pipeline.requests").Add();
+    reg.GetCounter("pipeline.search_nanos")
+        .Add(static_cast<std::uint64_t>(search_seconds * 1e9));
+    reg.GetCounter("pipeline.timeline_eval_nanos").Add(timeline_nanos);
+    if (timeline_nanos > 0)
+        reg.GetGauge("search.timeline_eval_share").Set(timeline_share);
+    reg.GetHistogram("pipeline.search_seconds").Observe(search_seconds);
+
+    obs::Tracer *const tracer = request.trace;
+    // Per-phase time/invocation aggregates from the hot-path prof sites
+    // (the hot path records aggregates, not per-call events; see
+    // obs/prof.h). Deltas are attributed to this request; they are
+    // approximate when pipelines run concurrently, since prof sites are
+    // process-wide. Each active site feeds a prof.<name>.{calls,nanos}
+    // counter pair and — for traced requests — one synthesized
+    // aggregate span.
+    for (const obs::ProfEntry &e : after) {
+        std::uint64_t before_calls = 0, before_nanos = 0;
+        for (const obs::ProfEntry &b : before) {
+            if (b.name == e.name) {
+                before_calls = b.calls;
+                before_nanos = b.nanos;
+                break;
+            }
+        }
+        const std::uint64_t delta_calls = e.calls - before_calls;
+        const std::uint64_t delta_nanos = e.nanos - before_nanos;
+        if (delta_calls == 0 && delta_nanos == 0) continue;
+        reg.GetCounter("prof." + e.name + ".calls").Add(delta_calls);
+        reg.GetCounter("prof." + e.name + ".nanos").Add(delta_nanos);
+        if (tracer) {
+            std::vector<obs::SpanArg> args;
+            args.push_back({"calls", Json::U64(delta_calls)});
+            tracer->AddAggregate(e.name.c_str(), t_search_end,
+                                 static_cast<std::int64_t>(delta_nanos),
+                                 std::move(args));
+        }
+    }
+    if (!tracer) return;
+    std::vector<obs::SpanArg> args;
+    args.push_back({"scheduler", Json::Str(request.scheduler)});
+    args.push_back({"timeline_eval_share", Json::Number(timeline_share)});
+    tracer->AddComplete("pipeline.search", t_search, t_search_end,
+                        std::move(args));
 }
 
 }  // namespace
@@ -197,7 +266,7 @@ ScheduleResult
 Scheduler::RunPipeline(const ScheduleRequest &original, JobId id,
                        const std::atomic<bool> *cancelled)
 {
-    const auto t_start = Clock::now();
+    const auto t_start = MonotonicNow();
     // One deadline anchor for the whole request: the search loops and
     // the deadline_expired flag below compare against the same instant,
     // so a search that ran its full budget is never mislabeled expired.
@@ -209,6 +278,16 @@ Scheduler::RunPipeline(const ScheduleRequest &original, JobId id,
     }
     ScheduleResult result;
     EchoRequest(request, &result);
+
+    // Observability is read-only: spans, prof aggregates and registry
+    // metrics observe pipeline state but never steer it, so results are
+    // byte-identical with and without a tracer (pinned by test). A
+    // traced request additionally holds hot-path profiling enabled so
+    // the synthesized eval.* aggregate spans below always carry data.
+    obs::Tracer *const tracer = request.trace;
+    std::optional<obs::ProfEnableScope> prof_hold;
+    if (tracer) prof_hold.emplace();
+    const std::vector<obs::ProfEntry> prof_before = obs::ProfSnapshot();
 
     auto progress = [&](const char *phase) {
         if (!request.on_progress) return;
@@ -250,13 +329,25 @@ Scheduler::RunPipeline(const ScheduleRequest &original, JobId id,
     if (!scheduler_fn) return fail(err);
     const SomaOptions opts = SomaOptionsForRequest(request);
 
+    if (tracer) {
+        std::vector<obs::SpanArg> args;
+        args.push_back({"model", Json::Str(result.model)});
+        args.push_back({"hardware", Json::Str(result.hardware)});
+        tracer->AddComplete("pipeline.build", t_start, MonotonicNow(),
+                            std::move(args));
+    }
+
     if (is_cancelled()) return fail("cancelled");
 
     // ---- search: the expensive phase.
     progress("search");
-    const auto t_search = Clock::now();
+    const auto t_search = MonotonicNow();
     SchedulerRunResult run = (*scheduler_fn)(*graph, hw, request, opts);
-    result.stats.search_seconds = SecondsSince(t_search);
+    const auto t_search_end = MonotonicNow();
+    result.stats.search_seconds =
+        std::chrono::duration<double>(t_search_end - t_search).count();
+    RecordSearchObservations(request, result.stats.search_seconds,
+                             prof_before, t_search, t_search_end);
 
     result.scheme = run.lfa.ToString(*graph);
     result.cost = run.cost;
@@ -276,7 +367,7 @@ Scheduler::RunPipeline(const ScheduleRequest &original, JobId id,
     // search loops were truncated (they poll the same time point), so
     // the result is best-so-far, not full-budget.
     result.deadline_expired =
-        request.deadline_ms > 0 && Clock::now() >= request.deadline_tp;
+        request.deadline_ms > 0 && MonotonicNow() >= request.deadline_tp;
 
     if (is_cancelled()) return fail("cancelled");
 
@@ -294,6 +385,7 @@ Scheduler::RunPipeline(const ScheduleRequest &original, JobId id,
 
     // ---- artifacts: lower / render only what was asked for.
     progress("artifacts");
+    const auto t_artifacts = MonotonicNow();
     const ArtifactRequest &arts = request.artifacts;
     if (arts.ir || arts.instructions) {
         IrModule ir = GenerateIr(*graph, result.parsed, result.dlsa);
@@ -332,6 +424,10 @@ Scheduler::RunPipeline(const ScheduleRequest &original, JobId id,
             result.stage1_execution_graph = os1.str();
         }
     }
+
+    if (tracer)
+        tracer->AddComplete("pipeline.artifacts", t_artifacts,
+                            MonotonicNow());
 
     progress("done");
     result.stats.total_seconds = SecondsSince(t_start);

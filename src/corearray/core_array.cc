@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/prof.h"
+
 namespace soma {
 
 namespace {
@@ -101,6 +103,7 @@ CoreArrayEvaluator::Evaluate(LayerId layer, const Region &region)
 {
     const TileCostMemo::TileKey key = TileCostMemo::Key(layer, region);
     if (const TileCost *hit = memo_->Find(key)) return *hit;
+    SOMA_PROF_SCOPE("tilecost.compute");
     return memo_->Insert(key, Compute(layer, region));
 }
 

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/prof.h"
 #include "tiling/tiling_cache.h"
 
 namespace soma {
@@ -109,6 +110,7 @@ ParseLfaInto(const Graph &graph, const LfaEncoding &lfa,
              ParseScratch *scratch, ParsedSchedule *out_ptr,
              TilingCache *tiling_cache)
 {
+    SOMA_PROF_SCOPE("parse.lfa");
     ParseLfaIntoImpl(graph, lfa, core_eval, popts, scratch, out_ptr,
                      tiling_cache);
     if (popts.cross_check) {

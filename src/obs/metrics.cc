@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace soma {
+namespace obs {
+
+std::vector<double>
+Histogram::DefaultLatencyBounds()
+{
+    std::vector<double> bounds;
+    bounds.reserve(27);
+    for (double b = 1e-6; b < 100.0; b *= 2.0) bounds.push_back(b);
+    return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_([&bounds] {
+          if (bounds.empty()) bounds = DefaultLatencyBounds();
+          std::sort(bounds.begin(), bounds.end());
+          bounds.erase(std::unique(bounds.begin(), bounds.end()),
+                       bounds.end());
+          return bounds;
+      }()),
+      buckets_(bounds_.size() + 1)
+{
+}
+
+void
+Histogram::Observe(double value)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // C++17 has no fetch_add for atomic<double>; CAS-accumulate.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+double
+Histogram::Percentile(double q) const
+{
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double target = q * static_cast<double>(n);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const std::uint64_t in_bucket =
+            buckets_[i].load(std::memory_order_relaxed);
+        if (in_bucket == 0) continue;
+        if (static_cast<double>(seen + in_bucket) < target) {
+            seen += in_bucket;
+            continue;
+        }
+        // Interpolate inside bucket i: [lo, hi] covers `in_bucket`
+        // observations uniformly; the overflow bucket reports its
+        // lower bound (no upper bound to interpolate toward).
+        const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+        if (i >= bounds_.size()) return lo;
+        const double hi = bounds_[i];
+        const double frac =
+            (target - static_cast<double>(seen)) /
+            static_cast<double>(in_bucket);
+        return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+Json
+Histogram::ToJson() const
+{
+    Json json = Json::Object();
+    json.Set("count", Json::U64(count()));
+    json.Set("sum", Json::Number(sum()));
+    json.Set("p50", Json::Number(Percentile(0.50)));
+    json.Set("p95", Json::Number(Percentile(0.95)));
+    json.Set("p99", Json::Number(Percentile(0.99)));
+    return json;
+}
+
+MetricsRegistry &
+MetricsRegistry::Global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::GetCounter(const std::string &name)
+{
+    MutexLock lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::GetGauge(const std::string &name)
+{
+    MutexLock lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::GetHistogram(const std::string &name,
+                              std::vector<double> bounds)
+{
+    MutexLock lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+Json
+MetricsRegistry::ToJson() const
+{
+    MutexLock lock(mutex_);
+    Json json = Json::Object();
+    for (const auto &[name, counter] : counters_)
+        json.Set(name, Json::U64(counter->value()));
+    for (const auto &[name, gauge] : gauges_)
+        json.Set(name, Json::Number(gauge->value()));
+    for (const auto &[name, hist] : histograms_)
+        json.Set(name, hist->ToJson());
+    return json;
+}
+
+void
+MetricsRegistry::Reset()
+{
+    MutexLock lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+}  // namespace obs
+}  // namespace soma

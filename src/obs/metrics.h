@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Process-wide metrics registry: lock-cheap counters, gauges and
+ * fixed-bucket latency histograms registered by name, exported as
+ * sorted-key canonical JSON.
+ *
+ * Design constraints (see DESIGN.md "Observability"):
+ *
+ *  - Hot-path updates are a single relaxed atomic op. Registration
+ *    (name lookup) takes the registry mutex once; call sites cache the
+ *    returned reference, which stays valid for the registry's lifetime
+ *    (metrics are never erased, only the whole registry Reset for
+ *    tests).
+ *  - Export is canonical: ToJson() emits one flat object whose keys
+ *    are the dotted metric names; CanonicalDump() of it is therefore
+ *    byte-stable for equal values regardless of registration order.
+ *    This is the `--stats` schema shared by somac run/sweep/
+ *    fingerprint.
+ *  - Strictly off the canonical-bytes path: nothing here feeds
+ *    ScheduleResult serialization or request fingerprints.
+ *
+ * Exact-count contract: Counter::Add and Histogram::Observe are
+ * atomic, so concurrent writers never lose increments (pinned by the
+ * TSan-exercised stress in tests/test_obs.cc). Histogram::sum() is an
+ * exact CAS-loop accumulation; its value can depend on addition order
+ * for pathological doubles, which is why dumps round-trip through the
+ * same %.17g rules as every other Json double.
+ */
+#ifndef SOMA_OBS_METRICS_H
+#define SOMA_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/thread_annotations.h"
+
+namespace soma {
+namespace obs {
+
+/** Monotone event count. Add() is wait-free; Set() exists so snapshot
+ *  sources (ServiceStats) can export absolute values. */
+class Counter {
+  public:
+    void Add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void Set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written instantaneous value (shares, ratios, sizes). */
+class Gauge {
+  public:
+    void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations with
+ * value <= bounds[i]; one implicit overflow bucket catches the rest.
+ * Percentiles interpolate linearly inside the winning bucket, which is
+ * the usual fixed-bucket tradeoff: cheap concurrent recording, p50/
+ * p95/p99 accurate to the bucket resolution.
+ */
+class Histogram {
+  public:
+    /** Geometric latency bounds in seconds: 1us .. ~65s, x2 steps. */
+    static std::vector<double> DefaultLatencyBounds();
+
+    explicit Histogram(std::vector<double> bounds);
+
+    void Observe(double value);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    /** Value at quantile @p q in [0, 1] (0 when empty). */
+    double Percentile(double q) const;
+
+    /** {count, sum, p50, p95, p99} as a JSON object. */
+    Json ToJson() const;
+
+  private:
+    const std::vector<double> bounds_;       ///< ascending upper bounds
+    std::vector<std::atomic<std::uint64_t>> buckets_;  ///< + overflow
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/**
+ * The name -> metric map. One process-wide instance behind Global();
+ * tests construct their own. A name permanently belongs to the first
+ * kind registered under it (re-registering as another kind returns a
+ * distinct throwaway metric rather than aliasing).
+ */
+class MetricsRegistry {
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry (somac --stats, pipeline counters). */
+    static MetricsRegistry &Global();
+
+    Counter &GetCounter(const std::string &name) SOMA_EXCLUDES(mutex_);
+    Gauge &GetGauge(const std::string &name) SOMA_EXCLUDES(mutex_);
+    /** @p bounds applies on first registration only (empty: latency
+     *  defaults). */
+    Histogram &GetHistogram(const std::string &name,
+                            std::vector<double> bounds = {})
+        SOMA_EXCLUDES(mutex_);
+
+    /**
+     * One flat JSON object: counters as exact integers, gauges as
+     * numbers, histograms as {count, sum, p50, p95, p99} sub-objects.
+     * Keys are the metric names; dump with CanonicalDump() for the
+     * canonical `--stats` bytes.
+     */
+    Json ToJson() const SOMA_EXCLUDES(mutex_);
+
+    /** Drop every metric (tests; never used on the hot path — handed-
+     *  out references die with the registry's entries). */
+    void Reset() SOMA_EXCLUDES(mutex_);
+
+  private:
+    mutable Mutex mutex_;
+    /* std::map, not unordered: ToJson iterates in sorted-name order by
+     * construction. unique_ptr values keep handed-out references stable
+     * across rehash-free inserts. */
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        SOMA_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        SOMA_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        SOMA_GUARDED_BY(mutex_);
+};
+
+}  // namespace obs
+}  // namespace soma
+
+#endif  // SOMA_OBS_METRICS_H

@@ -1,0 +1,76 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+namespace soma {
+namespace obs {
+
+int
+CurrentTraceTid()
+{
+    static std::atomic<int> next{0};
+    thread_local const int tid = next.fetch_add(1);
+    return tid;
+}
+
+void
+Tracer::AddComplete(const char *name, MonotonicTime start,
+                    MonotonicTime end, std::vector<SpanArg> args)
+{
+    if (start < t0_) start = t0_;
+    if (end < start) end = start;
+    Event ev;
+    ev.name = name;
+    ev.tid = CurrentTraceTid();
+    ev.ts_us = static_cast<double>(NanosBetween(t0_, start)) / 1000.0;
+    ev.dur_us = static_cast<double>(NanosBetween(start, end)) / 1000.0;
+    ev.args = std::move(args);
+    MutexLock lock(mutex_);
+    events_.push_back(std::move(ev));
+}
+
+void
+Tracer::AddAggregate(const char *name, MonotonicTime end,
+                     std::int64_t duration_ns, std::vector<SpanArg> args)
+{
+    if (duration_ns < 0) duration_ns = 0;
+    MonotonicTime start = end - std::chrono::nanoseconds(duration_ns);
+    AddComplete(name, start, end, std::move(args));
+}
+
+std::size_t
+Tracer::NumEvents() const
+{
+    MutexLock lock(mutex_);
+    return events_.size();
+}
+
+Json
+Tracer::ToJson() const
+{
+    MutexLock lock(mutex_);
+    Json array = Json::Array();
+    for (const Event &ev : events_) {
+        Json row = Json::Object();
+        row.Set("name", Json::Str(ev.name));
+        row.Set("cat", Json::Str("soma"));
+        row.Set("ph", Json::Str("X"));
+        row.Set("ts", Json::Number(ev.ts_us));
+        row.Set("dur", Json::Number(ev.dur_us));
+        row.Set("pid", Json::Int(1));
+        row.Set("tid", Json::Int(ev.tid));
+        if (!ev.args.empty()) {
+            Json args = Json::Object();
+            for (const SpanArg &a : ev.args) args.Set(a.key, a.value);
+            row.Set("args", std::move(args));
+        }
+        array.Append(std::move(row));
+    }
+    Json json = Json::Object();
+    json.Set("traceEvents", std::move(array));
+    json.Set("displayTimeUnit", Json::Str("ms"));
+    return json;
+}
+
+}  // namespace obs
+}  // namespace soma

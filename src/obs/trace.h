@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Span tracer emitting Chrome trace-event JSON ("traceEvents" array of
+ * complete events), loadable in chrome://tracing and Perfetto.
+ *
+ * Usage: own a Tracer somewhere request-scoped (somac --trace, a test,
+ * ScheduleRequest::trace) and open RAII SpanScopes around phases:
+ *
+ *   obs::SpanScope span(tracer, "lfa.stage");
+ *   span.Arg("iterations", n);     // buffered, attached on close
+ *
+ * A null tracer makes SpanScope a complete no-op — no clock read, no
+ * allocation — which is the runtime half of the zero-overhead-when-
+ * disabled contract (hot paths additionally avoid spans entirely and
+ * use SOMA_PROF_SCOPE aggregates, see obs/prof.h).
+ *
+ * Thread model: Tracer is internally synchronized (spans close from
+ * driver worker threads); timestamps are monotonic microseconds since
+ * the Tracer's construction; tids are small dense per-process thread
+ * numbers (assignment order), not OS ids, so traces diff cleanly.
+ *
+ * Determinism: traces record wall-time and are therefore not
+ * deterministic artifacts themselves — but attaching a tracer never
+ * changes ScheduleResult bytes (pinned by test; the spans only read
+ * pipeline state, never steer it).
+ */
+#ifndef SOMA_OBS_TRACE_H
+#define SOMA_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/thread_annotations.h"
+#include "obs/clock.h"
+
+namespace soma {
+namespace obs {
+
+/** One buffered span argument (shown under "args" in the viewer). */
+struct SpanArg {
+    std::string key;
+    Json value;
+};
+
+class Tracer {
+  public:
+    Tracer() : t0_(MonotonicNow()) {}
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Append one complete ("ph":"X") event. @p start/@p end are
+     *  monotonic instants (clamped to >= t0). */
+    void AddComplete(const char *name, MonotonicTime start,
+                     MonotonicTime end, std::vector<SpanArg> args = {})
+        SOMA_EXCLUDES(mutex_);
+
+    /** Append a synthesized aggregate span of @p duration_ns ending at
+     *  @p end — used to surface SOMA_PROF_SCOPE totals (e.g. timeline
+     *  evaluation) as a span even though the hot path records no
+     *  per-call events. */
+    void AddAggregate(const char *name, MonotonicTime end,
+                      std::int64_t duration_ns,
+                      std::vector<SpanArg> args = {})
+        SOMA_EXCLUDES(mutex_);
+
+    MonotonicTime t0() const { return t0_; }
+    std::size_t NumEvents() const SOMA_EXCLUDES(mutex_);
+
+    /** {"traceEvents": [...]} — the Chrome/Perfetto wire format. */
+    Json ToJson() const SOMA_EXCLUDES(mutex_);
+
+  private:
+    struct Event {
+        std::string name;
+        int tid = 0;
+        double ts_us = 0.0;   ///< since t0_
+        double dur_us = 0.0;
+        std::vector<SpanArg> args;
+    };
+
+    const MonotonicTime t0_;
+    mutable Mutex mutex_;
+    std::vector<Event> events_ SOMA_GUARDED_BY(mutex_);
+};
+
+/** Small dense id of the calling thread (0, 1, 2, ... in first-use
+ *  order). */
+int CurrentTraceTid();
+
+/**
+ * RAII span: records [construction, destruction) as one complete event
+ * on @p tracer. All methods are no-ops when @p tracer is null.
+ */
+class SpanScope {
+  public:
+    SpanScope(Tracer *tracer, const char *name)
+        : tracer_(tracer), name_(name)
+    {
+        if (tracer_) start_ = MonotonicNow();
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    ~SpanScope()
+    {
+        if (tracer_)
+            tracer_->AddComplete(name_, start_, MonotonicNow(),
+                                 std::move(args_));
+    }
+
+    void Arg(const char *key, std::int64_t value)
+    {
+        if (tracer_) args_.push_back({key, Json::Int(value)});
+    }
+    void Arg(const char *key, double value)
+    {
+        if (tracer_) args_.push_back({key, Json::Number(value)});
+    }
+    void Arg(const char *key, const std::string &value)
+    {
+        if (tracer_) args_.push_back({key, Json::Str(value)});
+    }
+
+  private:
+    Tracer *const tracer_;
+    const char *const name_;
+    MonotonicTime start_{};
+    std::vector<SpanArg> args_;
+};
+
+}  // namespace obs
+}  // namespace soma
+
+#endif  // SOMA_OBS_TRACE_H

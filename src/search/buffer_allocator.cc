@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "search/dlsa_heuristics.h"
 #include "sim/evaluator.h"
 
@@ -16,6 +17,8 @@ RunBufferAllocatedSearch(const Graph &graph, const HardwareConfig &hw,
 {
     SomaSearchResult best;
     best.cost = std::numeric_limits<double>::infinity();
+    obs::Tracer *const tracer = lfa_opts.driver.trace;
+    obs::SpanScope search_span(tracer, "alloc.search");
 
     // One tiling memo and one tile-cost memo for the whole search: the
     // outer iterations only vary the stage budget, which neither
@@ -55,6 +58,11 @@ RunBufferAllocatedSearch(const Graph &graph, const HardwareConfig &hw,
             if (stage_budget <= 0) break;
         }
 
+        obs::SpanScope iter_span(tracer, "alloc.iteration");
+        iter_span.Arg("iter", static_cast<std::int64_t>(iter));
+        iter_span.Arg("budget_bytes",
+                      static_cast<std::int64_t>(stage_budget));
+
         LfaStageResult s1 = RunLfaStage(graph, hw, core_eval, stage_budget,
                                         lfa_opts_shared, rng);
         AccumulateSaStats(&best.lfa_stats, s1.stats);
@@ -77,6 +85,7 @@ RunBufferAllocatedSearch(const Graph &graph, const HardwareConfig &hw,
 
         best.iteration_costs.push_back(s2.cost);
         ++best.outer_iterations;
+        iter_span.Arg("cost", s2.cost);
 
         if (s2.cost < best.cost) {
             best.cost = s2.cost;
@@ -96,6 +105,9 @@ RunBufferAllocatedSearch(const Graph &graph, const HardwareConfig &hw,
             if (no_improve >= opts.patience) break;
         }
     }
+    search_span.Arg("outer_iterations",
+                    static_cast<std::int64_t>(best.outer_iterations));
+    search_span.Arg("best_cost", best.cost);
     return best;
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <memory>
 
+#include "obs/trace.h"
 #include "search/dlsa_heuristics.h"
 #include "sim/eval_context.h"
 #include "sim/evaluator.h"
@@ -111,6 +112,11 @@ RunDlsaStage(const Graph &graph, const HardwareConfig &hw,
              Bytes buffer_budget, const DlsaStageOptions &opts, Rng &rng)
 {
     const Ops total_ops = graph.TotalOps();
+    obs::SpanScope stage_span(opts.driver.trace, "dlsa.stage");
+    stage_span.Arg("tensors", static_cast<std::int64_t>(
+                                  parsed.NumTensors()));
+    stage_span.Arg("budget_bytes",
+                   static_cast<std::int64_t>(buffer_budget));
     auto mutator = std::make_shared<DlsaMutator>(parsed);
 
     EvalContext serial_ctx;
@@ -177,6 +183,11 @@ RunDlsaStage(const Graph &graph, const HardwareConfig &hw,
         make_env, sa, opts.driver, rng, &result.dlsa, &result.cost);
     result.report = EvaluateSchedule(graph, hw, parsed, result.dlsa,
                                      buffer_budget, total_ops);
+    stage_span.Arg("iterations", static_cast<std::int64_t>(
+                                     result.stats.iterations));
+    stage_span.Arg("evaluated", static_cast<std::int64_t>(
+                                    result.stats.evaluated));
+    stage_span.Arg("best_cost", result.cost);
     return result;
 }
 

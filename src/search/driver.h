@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "search/sa.h"
 
 namespace soma {
@@ -60,6 +61,16 @@ struct SearchDriverOptions {
      */
     const std::atomic<bool> *cancel = nullptr;
     std::chrono::steady_clock::time_point deadline{};
+    /**
+     * Optional span tracer (obs/trace.h). When set, every chain's
+     * annealing window records one "sa.window" span (args: chain,
+     * round, iteration range). Observational only: spans read walk
+     * state, never steer it, so attaching a tracer leaves results
+     * bit-identical — like `threads`, it is excluded from request
+     * fingerprints. Propagated from SomaOptions.driver into both
+     * stages by PropagateSomaOptions.
+     */
+    obs::Tracer *trace = nullptr;
 };
 
 /** True once @p opts's cancel flag is set or its deadline has passed.
@@ -169,12 +180,20 @@ RunSearchDriver(const State &initial, double initial_cost,
             static_cast<std::int64_t>(sa.iterations) * (r + 1) / rounds);
         RunOnWorkers(threads, chains, [&](int c) {
             Chain &ch = pool[c];
+            obs::SpanScope span(opts.trace, "sa.window");
+            span.Arg("chain", static_cast<std::int64_t>(c));
+            span.Arg("round", static_cast<std::int64_t>(r));
+            span.Arg("begin", static_cast<std::int64_t>(begin));
+            span.Arg("end", static_cast<std::int64_t>(end));
             if (r == 0 && ch.env.on_adopt)
                 ch.env.on_adopt(ch.current, ch.current_cost);
             RunSaWindow<State>(&ch.current, &ch.current_cost, &ch.best,
                                &ch.best_cost, ch.env.mutate, ch.env.evaluate,
                                sa_eff, ch.rng, begin, end, &ch.stats,
                                ch.env.on_accept);
+            span.Arg("evaluated",
+                     static_cast<std::int64_t>(ch.stats.evaluated));
+            span.Arg("best_cost", ch.best_cost);
         });
         if (r + 1 >= rounds || SaStopRequested(sa_eff)) break;
         // Deterministic exchange: migrate the global best-so-far into

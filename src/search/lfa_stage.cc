@@ -6,6 +6,7 @@
 #include <cstring>
 #include <memory>
 
+#include "obs/trace.h"
 #include "search/dlsa_heuristics.h"
 #include "sim/eval_context.h"
 #include "sim/evaluator.h"
@@ -171,6 +172,9 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
             const LfaStageOptions &opts, Rng &rng)
 {
     const Ops total_ops = graph.TotalOps();
+    obs::Tracer *const tracer = opts.driver.trace;
+    obs::SpanScope stage_span(tracer, "lfa.stage");
+    stage_span.Arg("budget_bytes", static_cast<std::int64_t>(stage_budget));
 
     // The stage-wide caches: one tiling memo and one tile-cost memo
     // shared by the serial seeding pass and every annealing chain.
@@ -215,13 +219,20 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
     };
 
     LfaStageResult result;
-    result.lfa = MakeInitialLfa(graph, hw, opts.tiling_cap);
-    result.cost = evaluate(result.lfa);
+    {
+        obs::SpanScope seed_span(tracer, "lfa.seed");
+        result.lfa = MakeInitialLfa(graph, hw, opts.tiling_cap);
+        result.cost = evaluate(result.lfa);
+        seed_span.Arg("initial_cost", result.cost);
+        seed_span.Arg("greedy", static_cast<std::int64_t>(
+                                    opts.greedy_seed ? 1 : 0));
+    }
 
     if (opts.greedy_seed) {
         // One right-to-left sweep over the DRAM cuts: merge neighbours
         // whenever it does not hurt. Right-to-left keeps positions of
         // not-yet-visited cuts stable.
+        obs::SpanScope greedy_span(tracer, "lfa.greedy_seed");
         std::vector<int> snapshot = result.lfa.dram_cuts;
         for (auto it = snapshot.rbegin(); it != snapshot.rend(); ++it) {
             int cut = *it;
@@ -280,16 +291,41 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
         make_env, sa, opts.driver, rng, &result.lfa, &result.cost);
 
     // Materialize the winning scheme once more for the caller.
-    result.parsed = ParseLfa(graph, result.lfa, core_eval);
-    result.dlsa = MakeDoubleBufferDlsa(result.parsed);
-    result.report = EvaluateSchedule(graph, hw, result.parsed, result.dlsa,
-                                     stage_budget, total_ops);
-    if (!result.report.valid) {
-        result.dlsa = MakeLazyDlsa(result.parsed);
+    {
+        obs::SpanScope final_span(tracer, "lfa.final");
+        result.parsed = ParseLfa(graph, result.lfa, core_eval);
+        result.dlsa = MakeDoubleBufferDlsa(result.parsed);
         result.report = EvaluateSchedule(graph, hw, result.parsed,
                                          result.dlsa, stage_budget,
                                          total_ops);
+        if (!result.report.valid) {
+            result.dlsa = MakeLazyDlsa(result.parsed);
+            result.report = EvaluateSchedule(graph, hw, result.parsed,
+                                             result.dlsa, stage_budget,
+                                             total_ops);
+        }
     }
+    stage_span.Arg("iterations", static_cast<std::int64_t>(
+                                     result.stats.iterations));
+    stage_span.Arg("evaluated", static_cast<std::int64_t>(
+                                    result.stats.evaluated));
+    stage_span.Arg("best_cost", result.cost);
+    // Incremental-parse / tiling-cache effectiveness for the trace
+    // viewer: the serial context's group-memo telemetry plus the
+    // stage-wide tiling cache counters.
+    const ParseScratch &scratch = serial_ctx.parse_scratch();
+    stage_span.Arg("parse_dirty_groups",
+                   static_cast<std::int64_t>(scratch.last_dirty_groups));
+    stage_span.Arg("parse_clean_groups",
+                   static_cast<std::int64_t>(scratch.last_clean_groups));
+    stage_span.Arg("parse_remapped_groups",
+                   static_cast<std::int64_t>(scratch.last_remapped_groups));
+    const TilingCache::Stats tstats = tiling_cache->stats();
+    stage_span.Arg("tiling_hits", static_cast<std::int64_t>(tstats.hits));
+    stage_span.Arg("tiling_misses",
+                   static_cast<std::int64_t>(tstats.misses));
+    stage_span.Arg("tiling_remaps",
+                   static_cast<std::int64_t>(tstats.remaps));
     return result;
 }
 

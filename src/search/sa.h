@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "obs/clock.h"
 
 namespace soma {
 
@@ -56,7 +57,7 @@ StopRequested(const std::atomic<bool> *cancel,
 {
     if (cancel && cancel->load(std::memory_order_relaxed)) return true;
     return deadline.time_since_epoch().count() != 0 &&
-           std::chrono::steady_clock::now() >= deadline;
+           obs::MonotonicNow() >= deadline;
 }
 
 /** True once @p opts's cancel flag is set or its deadline has passed. */

@@ -6,6 +6,9 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace soma {
 
@@ -81,6 +84,42 @@ ServiceStats::ToJson() const
     return json;
 }
 
+void
+ServiceStats::ExportTo(obs::MetricsRegistry &registry) const
+{
+    auto set = [&registry](const char *name, std::uint64_t v) {
+        registry.GetCounter(name).Set(v);
+    };
+    set("service.requests", requests);
+    set("service.coalesced", coalesced);
+    set("service.searches", searches);
+    set("service.uncacheable", uncacheable);
+    set("service.errors", errors);
+    set("service.negative_hits", negative_hits);
+    set("service.result_cache.hits", result_cache.hits);
+    set("service.result_cache.misses", result_cache.misses);
+    set("service.result_cache.evictions", result_cache.evictions);
+    set("service.result_cache.insertions", result_cache.insertions);
+    set("service.result_cache.disk_hits", result_cache.disk_hits);
+    set("service.result_cache.disk_writes", result_cache.disk_writes);
+    set("service.result_cache.version_mismatches",
+        result_cache.version_mismatches);
+    set("service.graph_cache.hits", graph_cache.hits);
+    set("service.graph_cache.misses", graph_cache.misses);
+    set("service.graph_cache.evictions", graph_cache.evictions);
+    set("service.warm_state.acquires", warm_state.acquires);
+    set("service.warm_state.hits", warm_state.hits);
+    set("service.warm_state.misses", warm_state.misses);
+    set("service.warm_state.evictions", warm_state.evictions);
+    set("service.warm_state.tiling_hits", warm_state.tiling_hits);
+    set("service.warm_state.tiling_misses", warm_state.tiling_misses);
+    set("service.warm_state.tiling_remaps", warm_state.tiling_remaps);
+    set("service.warm_state.tiling_entries", warm_state.tiling_entries);
+    set("service.warm_state.tile_cost_entries",
+        warm_state.tile_cost_entries);
+    set("service.warm_state.approx_bytes", warm_state.approx_bytes);
+}
+
 SchedulerService::SchedulerService(const ServiceOptions &options)
     : error_ttl_ms_(options.error_ttl_ms),
       now_fn_(options.now_fn),
@@ -97,7 +136,7 @@ SchedulerService::SchedulerService(const ServiceOptions &options)
 std::chrono::steady_clock::time_point
 SchedulerService::Now() const
 {
-    return now_fn_ ? now_fn_() : std::chrono::steady_clock::now();
+    return now_fn_ ? now_fn_() : obs::MonotonicNow();
 }
 
 const SchedulerService::NegativeEntry *
@@ -157,9 +196,12 @@ SchedulerService::Schedule(const ScheduleRequest &request,
     // behind mutex_.
     std::string text;
     ScheduleResult cached;
-    if (result_cache_.Get(fingerprint, &text) &&
-        serve_cached(std::move(text), &cached))
-        return cached;
+    {
+        obs::SpanScope probe_span(request.trace, "service.cache_probe");
+        const bool hit = result_cache_.Get(fingerprint, &text);
+        probe_span.Arg("hit", static_cast<std::int64_t>(hit ? 1 : 0));
+        if (hit && serve_cached(std::move(text), &cached)) return cached;
+    }
 
     std::shared_ptr<Inflight> flight;
     {
@@ -202,6 +244,8 @@ SchedulerService::Schedule(const ScheduleRequest &request,
             // request's own cancel flag and deadline while waiting.
             flight = it->second;
             counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
+            obs::SpanScope wait_span(request.trace,
+                                     "service.coalesce_wait");
             for (;;) {
                 if (flight->done) break;
                 if (request.cancel &&
@@ -262,8 +306,20 @@ SchedulerService::RunAndPublish(const ScheduleRequest &request,
     }
 
     counters_.searches.fetch_add(1, std::memory_order_relaxed);
-    ScheduleResult result = scheduler_.Schedule(req);
-    std::string text = result.ToJson().Dump(2);
+    ScheduleResult result;
+    {
+        obs::SpanScope search_span(request.trace, "service.search");
+        result = scheduler_.Schedule(req);
+        search_span.Arg("ok", static_cast<std::int64_t>(result.ok ? 1
+                                                                  : 0));
+    }
+    std::string text;
+    {
+        obs::SpanScope serialize_span(request.trace, "service.serialize");
+        text = result.ToJson().Dump(2);
+        serialize_span.Arg("bytes",
+                           static_cast<std::int64_t>(text.size()));
+    }
 
     // The determinism contract: only results every future run would
     // reproduce byte-for-byte are cached. Errors may heal (registry

@@ -62,6 +62,10 @@
 
 namespace soma {
 
+namespace obs {
+class MetricsRegistry;
+}
+
 struct ServiceOptions {
     /** Result-cache sizing/persistence. An empty cache_dir keeps the
      *  cache purely in-memory. */
@@ -108,7 +112,15 @@ struct ServiceStats {
     GraphCache::Stats graph_cache;
     WarmStateCache::Stats warm_state;
 
-    Json ToJson() const;  ///< the `somac sweep --stats` schema
+    Json ToJson() const;  ///< the nested (legacy in-process) schema
+
+    /**
+     * Export this snapshot into @p registry as absolute-value counters
+     * under flat dotted names ("service.requests",
+     * "service.result_cache.hits", ...). The registry's canonical dump
+     * is the `--stats` schema shared by somac run/sweep/fingerprint.
+     */
+    void ExportTo(obs::MetricsRegistry &registry) const;
 };
 
 class SchedulerService {

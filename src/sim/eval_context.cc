@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/prof.h"
+
 namespace soma {
 
 void
@@ -123,6 +125,7 @@ EvalContext::RunTimeline(const ParsedSchedule &parsed,
                          const HardwareConfig &hw, Side *side, int ci,
                          int di, double dram_prev_finish)
 {
+    SOMA_PROF_SCOPE("eval.timeline");
     const int T = parsed.NumTiles();
     const int D = parsed.NumTensors();
     EvalReport &rep = side->report;
@@ -237,6 +240,7 @@ EvalContext::Evaluate(const Graph &graph, const HardwareConfig &hw,
                       const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
                       Bytes buffer_budget, Ops total_ops)
 {
+    SOMA_PROF_SCOPE("eval.full");
     (void)graph;
     // A full evaluation rebuilds the store buckets for the candidate, so
     // the base's buckets are gone: the base is unusable from here on.
@@ -305,6 +309,7 @@ EvalContext::EvaluateDelta(const Graph &graph, const HardwareConfig &hw,
                            const DlsaEncoding &cand, const DlsaDelta &delta,
                            Bytes buffer_budget, Ops total_ops)
 {
+    SOMA_PROF_SCOPE("eval.delta");
     RevertPendingStoreMove();
     if (!base_ok_ || base_parsed_ != &parsed ||
         base_budget_ != buffer_budget || base_ops_ != total_ops ||

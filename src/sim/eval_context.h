@@ -132,6 +132,11 @@ class EvalContext {
     /** Whether EvaluateDelta currently has a usable base. */
     bool HasBase() const { return base_ok_; }
 
+    /** The incremental-parse scratch (read-only): span tracers read the
+     *  group-memo telemetry off it (last_dirty_groups /
+     *  last_clean_groups / last_remapped_groups) after a Parse call. */
+    const ParseScratch &parse_scratch() const { return parse_scratch_; }
+
   private:
     /** One copy of all per-evaluation result state. Two instances are
      *  kept so a candidate can be evaluated without clobbering the base

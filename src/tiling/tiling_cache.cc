@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/prof.h"
+
 namespace soma {
 
 std::uint64_t
@@ -59,6 +61,7 @@ TilingCache::Get(const Graph &graph, const std::vector<LayerId> &flg_layers,
                 ReindexFlgTiling(*tiling, stored_order, flg_layers));
         }
     }
+    SOMA_PROF_SCOPE("tiling.derive");
     auto tiling = std::make_shared<const FlgTiling>(
         ComputeFlgTiling(graph, flg_layers, tiles));
     SharedMutexLock lock(shard.mutex);

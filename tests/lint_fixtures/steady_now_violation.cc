@@ -1,0 +1,24 @@
+// Fixture: raw monotonic-clock reads outside src/obs/ — both the
+// spelled-out call and one through a local type alias must be flagged
+// (steady_clock::time_point *types* are fine; only the read is
+// centralized in obs::MonotonicNow).
+#include <chrono>
+
+namespace fixture {
+
+using Clock = std::chrono::steady_clock;
+
+inline double
+ElapsedSeconds(std::chrono::steady_clock::time_point t0)
+{
+    const auto now = std::chrono::steady_clock::now();  // finding: steady-now
+    return std::chrono::duration<double>(now - t0).count();
+}
+
+inline Clock::time_point
+Stamp()
+{
+    return Clock::now();  // finding: steady-now (via the alias)
+}
+
+}  // namespace fixture

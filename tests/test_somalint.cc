@@ -91,6 +91,23 @@ TEST(Somalint, UnorderedIterWaiverIsHonored)
     EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST(Somalint, SteadyNowFiresOnRawAndAliasedClockReads)
+{
+    const LintRun run = RunLint(Fixture("steady_now_violation.cc"));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    // The spelled-out call and the alias call each report once; the
+    // time_point type uses draw nothing.
+    EXPECT_EQ(CountFindings(run.output, "steady-now"), 2) << run.output;
+    EXPECT_NE(run.output.find("steady_clock::now()"), std::string::npos);
+    EXPECT_NE(run.output.find("Clock::now()"), std::string::npos);
+}
+
+TEST(Somalint, SteadyNowWaiverIsHonored)
+{
+    const LintRun run = RunLint(Fixture("steady_now_waived.cc"));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST(Somalint, RawMutexFiresOutsideThreadAnnotations)
 {
     const LintRun run = RunLint(Fixture("raw_mutex_violation.cc"));
@@ -126,6 +143,7 @@ TEST(Somalint, WholeFixtureDirectoryAggregatesFindings)
     // Every check class is represented in the directory sweep.
     EXPECT_GE(CountFindings(run.output, "wallclock"), 3);
     EXPECT_GE(CountFindings(run.output, "unordered-iter"), 2);
+    EXPECT_GE(CountFindings(run.output, "steady-now"), 2);
     EXPECT_GE(CountFindings(run.output, "raw-mutex"), 3);
     EXPECT_GE(CountFindings(run.output, "guarded-field"), 2);
 }

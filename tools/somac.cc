@@ -30,6 +30,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -37,6 +38,10 @@
 
 #include "api/scheduler.h"
 #include "common/hash.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
 #include "service/service.h"
 
 namespace {
@@ -50,12 +55,14 @@ Usage(std::ostream &os, int code)
           "\n"
           "usage:\n"
           "  somac run [request.json] [overrides] [-o result.json]\n"
-          "            [--outdir DIR] [--quiet]\n"
+          "            [--outdir DIR] [--trace FILE] [--stats FILE]\n"
+          "            [--quiet]\n"
           "  somac sweep spec.json [--csv FILE] [--json FILE]\n"
-          "            [--stats FILE] [--cache-dir DIR]\n"
+          "            [--stats FILE] [--trace FILE] [--cache-dir DIR]\n"
           "            [--cache-capacity N] [--jobs N] [--shard I/N]\n"
           "            [--repeat N] [--quiet]\n"
           "  somac fingerprint request.json [--canonical]\n"
+          "            [--stats FILE]\n"
           "  somac list models|hardware|schedulers\n"
           "  somac validate result.json\n"
           "  somac help\n"
@@ -80,6 +87,14 @@ Usage(std::ostream &os, int code)
           "--outdir additionally writes artifacts as files\n"
           "(<model>.ir, <model>.asm, <model>_{compute,dram,buffer}.csv,\n"
           "<model>_execgraph.txt).\n"
+          "\n"
+          "--trace FILE writes a Chrome trace-event JSON of the run\n"
+          "(load in Perfetto / chrome://tracing): spans for every\n"
+          "pipeline phase, search stage, SA window and the synthesized\n"
+          "hot-path aggregates. Observational only — result bytes are\n"
+          "identical with and without --trace.\n"
+          "--stats FILE writes the canonical metrics-registry dump\n"
+          "(flat dotted keys; one schema across run/sweep/fingerprint).\n"
           "\n"
           "sweep spec.json: {\"base\": {request fields...},\n"
           "  \"models\": [...], \"batches\": [...], \"hardware\": [...],\n"
@@ -211,7 +226,8 @@ FlagTakesValue(const std::string &flag)
         "--model", "--batch", "--hw", "--hardware", "--gbuf-mb",
         "--dram-gbps", "--scheduler", "--profile", "--seed", "--cost-n",
         "--cost-m", "--chains", "--threads", "--deadline-ms",
-        "--exec-graph-rows", "-o", "--out", "--outdir"};
+        "--exec-graph-rows", "-o", "--out", "--outdir", "--trace",
+        "--stats"};
     for (const char *f : kValueFlags)
         if (flag == f) return true;
     return false;
@@ -231,7 +247,7 @@ int
 CmdRun(const std::vector<std::string> &args)
 {
     ScheduleRequest request;
-    std::string out_path, outdir;
+    std::string out_path, outdir, trace_path, stats_path;
     bool quiet = false;
     bool have_request = false;
 
@@ -362,6 +378,12 @@ CmdRun(const std::vector<std::string> &args)
         } else if (arg == "--outdir") {
             if (!(v = need_value(i, arg))) return 2;
             outdir = *v, ++i;
+        } else if (arg == "--trace") {
+            if (!(v = need_value(i, arg))) return 2;
+            trace_path = *v, ++i;
+        } else if (arg == "--stats") {
+            if (!(v = need_value(i, arg))) return 2;
+            stats_path = *v, ++i;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -382,6 +404,14 @@ CmdRun(const std::vector<std::string> &args)
                       << event.elapsed_seconds << "s\n";
         };
     }
+    // Observability wiring: a --trace run records spans onto a
+    // request-scoped tracer; a --stats run holds hot-path profiling
+    // enabled so the registry dump carries the per-phase aggregates.
+    // Neither changes result bytes (pinned by test and CI).
+    obs::Tracer tracer;
+    if (!trace_path.empty()) request.trace = &tracer;
+    std::optional<obs::ProfEnableScope> prof_hold;
+    if (!stats_path.empty()) prof_hold.emplace();
     ScheduleResult result = scheduler.Schedule(request);
 
     std::string err;
@@ -391,6 +421,23 @@ CmdRun(const std::vector<std::string> &args)
     } else if (!WriteFile(out_path, result_text, &err)) {
         std::cerr << err << "\n";
         return 2;
+    }
+    if (!trace_path.empty()) {
+        if (!WriteFile(trace_path, tracer.ToJson().Dump(2) + "\n", &err)) {
+            std::cerr << err << "\n";
+            return 2;
+        }
+        if (!quiet)
+            std::cerr << "[somac] wrote " << tracer.NumEvents()
+                      << " trace events to " << trace_path << "\n";
+    }
+    if (!stats_path.empty()) {
+        const std::string dump =
+            obs::MetricsRegistry::Global().ToJson().CanonicalDump() + "\n";
+        if (!WriteFile(stats_path, dump, &err)) {
+            std::cerr << err << "\n";
+            return 2;
+        }
     }
 
     if (!outdir.empty() && result.ok) {
@@ -444,11 +491,18 @@ LoadRequest(const std::string &path, ScheduleRequest *request)
 int
 CmdFingerprint(const std::vector<std::string> &args)
 {
-    std::string path;
+    std::string path, stats_path;
     bool canonical = false;
-    for (const std::string &arg : args) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
         if (arg == "--canonical") {
             canonical = true;
+        } else if (arg == "--stats") {
+            if (i + 1 >= args.size()) {
+                std::cerr << "--stats needs a value\n";
+                return 2;
+            }
+            stats_path = args[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown flag " << arg << "\n";
             return 2;
@@ -461,7 +515,7 @@ CmdFingerprint(const std::vector<std::string> &args)
     }
     if (path.empty()) {
         std::cerr << "usage: somac fingerprint request.json "
-                     "[--canonical]\n";
+                     "[--canonical] [--stats FILE]\n";
         return 2;
     }
     ScheduleRequest request;
@@ -469,6 +523,21 @@ CmdFingerprint(const std::vector<std::string> &args)
     std::cout << HexU64(request.Fingerprint()) << "\n";
     if (canonical)
         std::cout << request.CanonicalJson().CanonicalDump() << "\n";
+    if (!stats_path.empty()) {
+        // The one canonical --stats schema across subcommands: the
+        // registry dump (here just the fingerprint counter — no
+        // pipeline runs under this subcommand).
+        obs::MetricsRegistry::Global()
+            .GetCounter("fingerprint.requests")
+            .Add();
+        std::string err;
+        const std::string dump =
+            obs::MetricsRegistry::Global().ToJson().CanonicalDump() + "\n";
+        if (!WriteFile(stats_path, dump, &err)) {
+            std::cerr << err << "\n";
+            return 2;
+        }
+    }
     return 0;
 }
 
@@ -754,6 +823,7 @@ int
 CmdSweep(const std::vector<std::string> &args)
 {
     std::string spec_path, csv_path, json_path, stats_path, cache_dir;
+    std::string trace_path;
     int cache_capacity = 0, jobs = 2, repeat = 1;
     int shard_index = 0, shard_count = 1;
     bool quiet = false;
@@ -785,6 +855,9 @@ CmdSweep(const std::vector<std::string> &args)
         } else if (arg == "--stats") {
             if (!(v = need_value(i, arg))) return 2;
             stats_path = *v, ++i;
+        } else if (arg == "--trace") {
+            if (!(v = need_value(i, arg))) return 2;
+            trace_path = *v, ++i;
         } else if (arg == "--cache-dir") {
             if (!(v = need_value(i, arg))) return 2;
             cache_dir = *v, ++i;
@@ -878,12 +951,21 @@ CmdSweep(const std::vector<std::string> &args)
                   << "\n";
     }
 
-    const auto t0 = std::chrono::steady_clock::now();
+    // One sweep-scoped tracer shared by every worker (the Tracer is
+    // internally synchronized; spans carry dense per-process tids).
+    // Observational only: the table bytes are identical with and
+    // without --trace.
+    obs::Tracer tracer;
+    std::optional<obs::ProfEnableScope> prof_hold;
+    if (!trace_path.empty() || !stats_path.empty()) prof_hold.emplace();
+
+    const auto t0 = obs::MonotonicNow();
     std::vector<SweepRow> rows(requests.size());
     std::string first_table;
     for (int pass = 0; pass < repeat; ++pass) {
         for (std::size_t i = 0; i < requests.size(); ++i) {
             rows[i].request = requests[i];
+            if (!trace_path.empty()) rows[i].request.trace = &tracer;
             rows[i].result = ScheduleResult{};
         }
 
@@ -922,10 +1004,7 @@ CmdSweep(const std::vector<std::string> &args)
             return 1;
         }
     }
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t0)
-            .count();
+    const double seconds = obs::SecondsSince(t0);
 
     // ---- emit the results table (and optional JSON/stats mirrors).
     if (csv_path.empty()) {
@@ -944,10 +1023,27 @@ CmdSweep(const std::vector<std::string> &args)
     }
     const ServiceStats stats = service.stats();
     if (!stats_path.empty()) {
-        if (!WriteFile(stats_path, stats.ToJson().Dump(2) + "\n", &err)) {
+        // The canonical --stats schema: the service counters exported
+        // as flat dotted keys into the process-wide registry (which
+        // already carries the pipeline.* / prof.* metrics the executed
+        // searches recorded), dumped with sorted keys.
+        auto &registry = obs::MetricsRegistry::Global();
+        stats.ExportTo(registry);
+        registry.GetGauge("sweep.seconds").Set(seconds);
+        const std::string dump = registry.ToJson().CanonicalDump() + "\n";
+        if (!WriteFile(stats_path, dump, &err)) {
             std::cerr << err << "\n";
             return 2;
         }
+    }
+    if (!trace_path.empty()) {
+        if (!WriteFile(trace_path, tracer.ToJson().Dump(2) + "\n", &err)) {
+            std::cerr << err << "\n";
+            return 2;
+        }
+        if (!quiet)
+            std::cerr << "[somac] wrote " << tracer.NumEvents()
+                      << " trace events to " << trace_path << "\n";
     }
 
     std::size_t failed = 0;

@@ -4,7 +4,7 @@
  *
  * A dependency-free token-level lint over src/ tools/ bench/ that turns
  * the project's prose contracts (DESIGN.md "Static analysis &
- * concurrency discipline") into a CI gate. Four checks:
+ * concurrency discipline") into a CI gate. Five checks:
  *
  *  - wallclock: no wall-clock or libc randomness in scheduling code.
  *    Every TTL, deadline and expiry in the tree is steady_clock
@@ -35,6 +35,15 @@
  *    `std::{mutex, shared_mutex, condition_variable[_any], lock_guard,
  *    unique_lock, shared_lock, scoped_lock}` outside
  *    thread_annotations.h itself.
+ *
+ *  - steady-now: no raw steady_clock::now() reads outside src/obs/.
+ *    The obs clock helpers (obs::MonotonicNow / obs::SecondsSince in
+ *    src/obs/clock.h) are the repo's one source of monotonic now, so
+ *    span tracing, profiling hooks and fake-clock tests share a single
+ *    seam. Flags `steady_clock::now(` and `Alias::now(` for any alias
+ *    introduced by `using Alias = ... steady_clock;` in the same file.
+ *    steady_clock::time_point *types* stay fine — only the read is
+ *    centralized.
  *
  *  - guarded-field: every class that owns a soma::Mutex/SharedMutex
  *    must say, per field, what that lock protects. Each non-function
@@ -327,8 +336,9 @@ CheckWallclock(const FileScan &scan, std::vector<Finding> *findings)
                 continue;
             Report(scan, t.line, "wallclock",
                    "call to '" + t.text +
-                       "(' — use std::chrono::steady_clock / soma::Rng "
-                       "for reproducible scheduling",
+                       "(' — use steady-clock arithmetic "
+                       "(obs::MonotonicNow) / soma::Rng for "
+                       "reproducible scheduling",
                    findings);
         }
     }
@@ -462,6 +472,59 @@ CheckUnorderedIter(const FileScan &scan,
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Check: steady-now
+// ---------------------------------------------------------------------------
+
+/** True for paths inside an `obs/` directory — the one place allowed
+ *  to read the monotonic clock directly (it implements the helper). */
+bool
+InObsDirectory(const std::string &path)
+{
+    for (const fs::path &part : fs::path(path))
+        if (part == "obs") return true;
+    return false;
+}
+
+void
+CheckSteadyNow(const FileScan &scan, std::vector<Finding> *findings)
+{
+    if (InObsDirectory(scan.path)) return;
+    const auto &toks = scan.tokens;
+
+    // `steady_clock` plus every same-file alias of it:
+    // `using Clock = std::chrono::steady_clock;` makes `Clock::now()`
+    // just as raw as the spelled-out call.
+    std::set<std::string> clock_names = {"steady_clock"};
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (!toks[i].is_identifier || toks[i].text != "using") continue;
+        if (!toks[i + 1].is_identifier || toks[i + 2].text != "=")
+            continue;
+        for (std::size_t j = i + 3;
+             j < toks.size() && toks[j].text != ";"; ++j) {
+            if (toks[j].text == "steady_clock") {
+                clock_names.insert(toks[i + 1].text);
+                break;
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (!toks[i].is_identifier || !clock_names.count(toks[i].text))
+            continue;
+        if (toks[i + 1].text != "::" || toks[i + 2].text != "now" ||
+            toks[i + 3].text != "(")
+            continue;
+        Report(scan, toks[i].line, "steady-now",
+               "raw '" + toks[i].text +
+                   "::now()' — read the monotonic clock through "
+                   "obs::MonotonicNow()/obs::SecondsSince() "
+                   "(src/obs/clock.h) so every timestamp shares one "
+                   "seam",
+               findings);
     }
 }
 
@@ -745,6 +808,7 @@ Run(const std::vector<std::string> &roots)
 
         CheckWallclock(scan, &findings);
         CheckUnorderedIter(scan, header_names, &findings);
+        CheckSteadyNow(scan, &findings);
         CheckRawMutex(scan, &findings);
         CheckGuardedFields(scan, &findings);
     }
@@ -778,8 +842,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: somalint <file-or-dir>...\n"
-                     "checks: wallclock, unordered-iter, raw-mutex, "
-                     "guarded-field\n"
+                     "checks: wallclock, unordered-iter, steady-now, "
+                     "raw-mutex, guarded-field\n"
                      "waive:  // somalint: allow(<check>[, <check>]) "
                      "<reason>\n");
         return 2;
