@@ -8,17 +8,23 @@
  *                 every candidate rebuilds all evaluation state)
  *   context-full  mutate + EvalContext::Evaluate (reused scratch,
  *                 allocation-free after warm-up)
- *   context-incr  mutate + EvalContext::EvaluateDelta (timeline resumed
- *                 from the earliest slot the mutation touched)
+ *   context-incr  mutate + EvalContext::EvaluateDelta with the windowed
+ *                 splice disabled (timeline resumed from the earliest
+ *                 slot the mutation touched, run to the end)
+ *   delta         EvaluateDelta with windowed re-simulation (re-run
+ *                 only the affected window, splice the cached suffix)
  *   driver KxN    RunDlsaStage on the SearchDriver with K chains on N
  *                 threads (aggregate candidates/s at equal per-chain
  *                 budget)
  *
  * plus the LFA loop (parse-dominated) as legacy / context (scratch
  * reuse only) / incremental (group-memoized partial re-parse + shared
- * TilingCache), with a cross-check pass asserting the incremental
- * parses bit-identical to full parses. CI gates lfa/incremental at
- * >= 2x lfa/legacy.
+ * TilingCache, full timeline per candidate) / delta (incremental parse
+ * + EvaluateLfa's windowed delta timeline against the committed base),
+ * with cross-check passes asserting incremental parses bit-identical
+ * to full parses and delta evaluations bit-identical to full
+ * simulations. CI gates lfa/incremental >= 2x lfa/legacy and
+ * lfa/delta >= 2x lfa/incremental.
  *
  * An observability section replays the incremental walk with the
  * SOMA_PROF_SCOPE hot-path hooks disabled (the default) and enabled
@@ -42,6 +48,7 @@
 #include "search/dlsa_stage.h"
 #include "search/driver.h"
 #include "search/lfa_stage.h"
+#include "search/soma.h"
 #include "sim/eval_context.h"
 #include "sim/evaluator.h"
 #include "workload/graph_builder.h"
@@ -142,25 +149,16 @@ main(int argc, char **argv)
     using bench::Profile;
     bench::InitBenchJson(&argc, argv);
     const Profile profile = bench::ProfileFromEnv();
-    int dlsa_iters, lfa_iters, stage_cap;
-    switch (profile) {
-      case Profile::kQuick:
-        dlsa_iters = 2000;
-        lfa_iters = 200;
-        stage_cap = 1500;
-        break;
-      case Profile::kFull:
-        dlsa_iters = 50000;
-        lfa_iters = 4000;
-        stage_cap = 20000;
-        break;
-      case Profile::kDefault:
-      default:
-        dlsa_iters = 10000;
-        lfa_iters = 1000;
-        stage_cap = 6000;
-        break;
-    }
+    // Loop sizes come from the same budget table the SomaOptions
+    // presets are built from (SomaBudgetsFor) — bench and facade
+    // profiles cannot drift.
+    const SomaProfileBudgets &budgets = SomaBudgetsFor(
+        profile == Profile::kQuick  ? SomaProfile::kQuick
+        : profile == Profile::kFull ? SomaProfile::kFull
+                                    : SomaProfile::kDefault);
+    const int dlsa_iters = budgets.bench_dlsa_iters;
+    const int lfa_iters = budgets.bench_lfa_iters;
+    const int stage_cap = budgets.bench_stage_iters;
 
     Graph graph = BuildResNet50(1);
     HardwareConfig hw = EdgeAccelerator();
@@ -218,20 +216,23 @@ main(int argc, char **argv)
             [] {}));
     }
 
-    {
+    auto dlsa_delta_walk = [&](const std::string &name, bool windowed) {
         EvalContext ctx;
+        ctx.set_windowed(windowed);
         ctx.Evaluate(graph, hw, parsed, initial, hw.gbuf_bytes, total_ops);
         ctx.Commit();
-        dlsa_rows.push_back(DlsaWalk(
-            "dlsa/context-incr", parsed, initial, initial_cost, dlsa_iters,
+        return DlsaWalk(
+            name, parsed, initial, initial_cost, dlsa_iters,
             [&](const DlsaEncoding &d, const DlsaDelta &delta) {
                 return ctx
                     .EvaluateDelta(graph, hw, parsed, d, delta,
                                    hw.gbuf_bytes, total_ops)
                     .Cost();
             },
-            [&] { ctx.Commit(); }));
-    }
+            [&] { ctx.Commit(); });
+    };
+    dlsa_rows.push_back(dlsa_delta_walk("dlsa/context-incr", false));
+    dlsa_rows.push_back(dlsa_delta_walk("dlsa/delta", true));
     std::printf("DLSA inner loop (%d iterations):\n", dlsa_iters);
     PrintRows(dlsa_rows, "dlsa/legacy");
 
@@ -277,7 +278,7 @@ main(int argc, char **argv)
     }
     auto lfa_context_walk = [&](const std::string &name,
                                 const ParseOptions &popts,
-                                bool with_tiling_cache) {
+                                bool with_tiling_cache, bool delta_eval) {
         Row row;
         row.name = name;
         for (int rep = 0; rep < kLfaRepeats; ++rep) {
@@ -287,6 +288,16 @@ main(int argc, char **argv)
                 ctx.set_tiling_cache(std::make_shared<TilingCache>());
             DlsaEncoding dlsa_scratch;
             LfaEncoding cur = lfa, cand;
+            if (delta_eval) {
+                // Commit the walk's base state once; every candidate
+                // then diffs against it (the stage's accept pattern).
+                const ParsedSchedule &p =
+                    ctx.Parse(graph, cur, core_eval, popts);
+                MakeDoubleBufferDlsaInto(p, &dlsa_scratch);
+                ctx.EvaluateLfa(graph, hw, p, dlsa_scratch, hw.gbuf_bytes,
+                                total_ops);
+                ctx.Commit();
+            }
             int candidates = 0;
             const MonotonicTime t0 = MonotonicNow();
             for (int i = 0; i < lfa_iters; ++i) {
@@ -296,8 +307,13 @@ main(int argc, char **argv)
                     ctx.Parse(graph, cand, core_eval, popts);
                 if (p.valid) {
                     MakeDoubleBufferDlsaInto(p, &dlsa_scratch);
-                    ctx.Evaluate(graph, hw, p, dlsa_scratch, hw.gbuf_bytes,
-                                 total_ops);
+                    if (delta_eval) {
+                        ctx.EvaluateLfa(graph, hw, p, dlsa_scratch,
+                                        hw.gbuf_bytes, total_ops);
+                    } else {
+                        ctx.Evaluate(graph, hw, p, dlsa_scratch,
+                                     hw.gbuf_bytes, total_ops);
+                    }
                 }
                 ++candidates;
             }
@@ -312,36 +328,61 @@ main(int argc, char **argv)
     {
         ParseOptions popts;
         popts.reuse_groups = false;
-        lfa_context_walk("lfa/context", popts, false);
+        lfa_context_walk("lfa/context", popts, false, false);
     }
-    lfa_context_walk("lfa/incremental", ParseOptions{}, true);
+    lfa_context_walk("lfa/incremental", ParseOptions{}, true, false);
+    lfa_context_walk("lfa/delta", ParseOptions{}, true, true);
     std::printf("\nLFA inner loop (%d iterations, parse-dominated):\n",
                 lfa_iters);
     PrintRows(lfa_rows, "lfa/legacy");
 
-    // The debug cross-check: replay a slice of the same walk with every
-    // incremental parse verified bit-identical against a from-scratch
-    // parse (ParseLfaInto aborts on divergence).
+    // The debug cross-checks: replay a slice of the same walk with
+    // every incremental parse verified bit-identical against a
+    // from-scratch parse (ParseLfaInto aborts on divergence), and every
+    // delta timeline evaluation verified bit-identical against a full
+    // simulation (EvalContext's cross_check mode aborts on divergence).
     {
         ParseOptions popts;
         popts.cross_check = true;
         Rng rng(23);
         EvalContext ctx;
+        ctx.set_cross_check(true);
         ctx.set_tiling_cache(std::make_shared<TilingCache>());
+        DlsaEncoding dlsa_scratch;
         LfaEncoding cur = lfa, cand;
+        {
+            const ParsedSchedule &p = ctx.Parse(graph, cur, core_eval,
+                                                popts);
+            MakeDoubleBufferDlsaInto(p, &dlsa_scratch);
+            ctx.EvaluateLfa(graph, hw, p, dlsa_scratch, hw.gbuf_bytes,
+                            total_ops);
+            ctx.Commit();
+        }
         int checked = 0;
         const int check_iters = std::min(lfa_iters, 100);
         for (int i = 0; i < check_iters; ++i) {
             if (!MutateLfaEncoding(graph, cur, &cand, 64, rng)) continue;
-            ctx.Parse(graph, cand, core_eval, popts);
+            const ParsedSchedule &p = ctx.Parse(graph, cand, core_eval,
+                                                popts);
+            if (p.valid) {
+                MakeDoubleBufferDlsaInto(p, &dlsa_scratch);
+                ctx.EvaluateLfa(graph, hw, p, dlsa_scratch, hw.gbuf_bytes,
+                                total_ops);
+            }
             ++checked;
         }
+        const auto &ds = ctx.delta_stats();
         std::printf("  cross-check: %d incremental parses bit-identical "
-                    "to full parses\n",
-                    checked);
+                    "to full parses, %llu delta evals bit-identical to "
+                    "full simulations\n",
+                    checked,
+                    static_cast<unsigned long long>(ds.cross_check_passes));
         bench::JsonSink::Instance().Add("sa_throughput/lfa/cross_check",
                                         "parses_verified",
                                         static_cast<double>(checked));
+        bench::JsonSink::Instance().Add(
+            "sa_throughput/delta/cross_check", "evals_verified",
+            static_cast<double>(ds.cross_check_passes));
     }
 
     // --------------------------------------- SearchDriver (DLSA stage)
@@ -370,8 +411,8 @@ main(int argc, char **argv)
     PrintRows(driver_rows, driver_rows.front().name);
 
     // ---------------------------- observability overhead (obs layer)
-    // The context-incr walk crosses two SOMA_PROF_SCOPE sites per
-    // candidate (eval.delta + eval.timeline). Replay it with the hooks
+    // The delta walk crosses two SOMA_PROF_SCOPE sites per candidate
+    // (eval.delta + eval.timeline.delta). Replay it with the hooks
     // dormant (default) and recording (ProfEnableScope — what
     // --trace/--stats hold), then microbench one *disabled* scope to
     // estimate the cost instrumentation adds when nobody is looking.
@@ -401,7 +442,9 @@ main(int argc, char **argv)
             const std::vector<obs::ProfEntry> after = obs::ProfSnapshot();
             const std::uint64_t timeline_nanos =
                 obs::ProfNanos(after, "eval.timeline") -
-                obs::ProfNanos(before, "eval.timeline");
+                obs::ProfNanos(before, "eval.timeline") +
+                obs::ProfNanos(after, "eval.timeline.delta") -
+                obs::ProfNanos(before, "eval.timeline.delta");
             const double wall = obs_rows.back().seconds;
             if (wall > 0.0)
                 timeline_share =
@@ -445,13 +488,13 @@ main(int argc, char **argv)
                                         timeline_share);
     }
 
-    const Row &incr = dlsa_rows.back();
+    const Row &delta_row = dlsa_rows.back();
     const Row &legacy = dlsa_rows.front();
     const Row &par = driver_rows.back();
     double single = legacy.PerSecond();
-    std::printf("\nsummary: incremental %.2fx, parallel driver %.2fx vs "
+    std::printf("\nsummary: delta %.2fx, parallel driver %.2fx vs "
                 "legacy single-thread\n",
-                single > 0 ? incr.PerSecond() / single : 0.0,
+                single > 0 ? delta_row.PerSecond() / single : 0.0,
                 single > 0 ? par.PerSecond() / single : 0.0);
     bench::JsonSink::Instance().Flush();
     return 0;

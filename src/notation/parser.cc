@@ -218,32 +218,30 @@ ParseLfaIntoImpl(const Graph &graph, const LfaEncoding &lfa,
             ++scratch->last_clean_groups;
         } else if (popts.reuse_groups && key_matches) {
             // Same member set (hence same sink set and tiling), new
-            // interior order: re-index the stored block to the current
-            // order instead of re-deriving it. The replacement is safe
-            // mid-parse — FLGs partition the layers, so no other group
-            // of this parse can share the member set behind `sig`.
-            ParseScratch::GroupParse remapped;
-            remapped.layers = layers;
-            remapped.sorted_layers = sorted;
-            remapped.tiles = rounds;
-            std::vector<std::size_t> perm;  // dst position -> src position
-            remapped.tiling = std::make_shared<const FlgTiling>(
-                ReindexFlgTiling(*it->second.tiling, it->second.layers,
-                                 layers, &perm));
-            if (remapped.tiling->valid) {
-                const std::size_t n_layers = layers.size();
-                remapped.costs.resize(it->second.costs.size());
-                for (int t = 0; t < rounds; ++t) {
-                    const std::size_t row =
-                        static_cast<std::size_t>(t) * n_layers;
-                    for (std::size_t i = 0; i < n_layers; ++i) {
-                        remapped.costs[row + i] =
-                            it->second.costs[row + perm[i]];
-                    }
-                }
-            }
-            it->second = std::move(remapped);
-            groups[g] = &it->second;
+            // interior order: re-point the block's permutation view at
+            // the new order. Regions and costs stay untouched in their
+            // derivation order — an order move is allocation-free, no
+            // matter how large the group. The update is safe mid-parse:
+            // FLGs partition the layers, so no other group of this
+            // parse can share the member set behind `sig`, and reads
+            // from an earlier clean hit of the same block in this parse
+            // are impossible for the same reason.
+            ParseScratch::GroupParse &blk = it->second;
+            std::vector<int> &pos = scratch->view_pos;
+            if (pos.size() < static_cast<std::size_t>(n)) pos.resize(n);
+            for (std::size_t i = 0; i < blk.layers.size(); ++i)
+                pos[blk.layers[i]] = static_cast<int>(i);
+            // Compose with the existing view so repeated moves stay a
+            // single indirection deep: new[i] = derivation-order index
+            // of layers[i], found via its position in the old view.
+            std::vector<std::size_t> &next = scratch->view_perm;
+            next.resize(layers.size());
+            for (std::size_t i = 0; i < layers.size(); ++i)
+                next[i] = blk.Perm(
+                    static_cast<std::size_t>(pos[layers[i]]));
+            blk.perm.swap(next);
+            blk.layers = layers;
+            groups[g] = &blk;
             ++scratch->last_clean_groups;
             ++scratch->last_remapped_groups;
         } else {
@@ -251,18 +249,26 @@ ParseLfaIntoImpl(const Graph &graph, const LfaEncoding &lfa,
             block.layers = layers;
             block.sorted_layers = sorted;
             block.tiles = rounds;
+            // GetView shares the cached tiling as stored — a hit under
+            // a different derivation order costs a perm, not a deep
+            // copy of every region row.
             block.tiling =
                 tiling_cache
-                    ? tiling_cache->Get(graph, layers, rounds)
+                    ? tiling_cache->GetView(graph, layers, rounds,
+                                            &block.perm)
                     : std::make_shared<const FlgTiling>(
                           ComputeFlgTiling(graph, layers, rounds));
             if (block.tiling->valid) {
-                block.costs.reserve(layers.size() *
-                                    static_cast<std::size_t>(rounds));
+                const std::size_t n_layers = layers.size();
+                block.costs.resize(n_layers *
+                                   static_cast<std::size_t>(rounds));
                 for (int t = 0; t < rounds; ++t) {
-                    for (std::size_t i = 0; i < layers.size(); ++i) {
-                        block.costs.push_back(core_eval.Evaluate(
-                            layers[i], block.tiling->regions[i][t]));
+                    const std::size_t row =
+                        static_cast<std::size_t>(t) * n_layers;
+                    for (std::size_t i = 0; i < n_layers; ++i) {
+                        const std::size_t k = block.Perm(i);
+                        block.costs[row + k] = core_eval.Evaluate(
+                            layers[i], block.tiling->regions[k][t]);
                     }
                 }
             }
@@ -316,11 +322,11 @@ ParseLfaIntoImpl(const Graph &graph, const LfaEncoding &lfa,
                 tile.flg = g;
                 tile.lg = lg_of_layer[id];
                 tile.round = t;
-                tile.region = block.tiling->regions[i][t];
+                tile.region = block.tiling->regions[block.Perm(i)][t];
                 assert(!tile.region.Empty());
                 tile.cost = block.costs[static_cast<std::size_t>(t) *
                                             layers.size() +
-                                        i];
+                                        block.Perm(i)];
                 pos_of[id][t] = static_cast<TilePos>(out.tiles.size());
                 out.tiles.push_back(std::move(tile));
             }
@@ -377,7 +383,9 @@ ParseLfaIntoImpl(const Graph &graph, const LfaEncoding &lfa,
             if (!from_dram) continue;
             int pc, ph, pw;
             ProducerShape(graph, in, &pc, &ph, &pw);
-            const auto &regions = groups[g]->tiling->regions[idx_in_flg[id]];
+            const auto &regions =
+                groups[g]->tiling->regions[groups[g]->Perm(
+                    static_cast<std::size_t>(idx_in_flg[id]))];
             Region prev_need;
             int prev_tensor = -1;
             for (int t = 0; t < rounds; ++t) {
@@ -449,7 +457,8 @@ ParseLfaIntoImpl(const Graph &graph, const LfaEncoding &lfa,
                 iv.from = pos_of[id][t];
                 iv.to = last_same_flg + 1;
                 iv.bytes = l.OutputBytes(
-                    groups[g]->tiling->regions[idx_in_flg[id]][t]);
+                    groups[g]->tiling->regions[groups[g]->Perm(
+                        static_cast<std::size_t>(idx_in_flg[id]))][t]);
                 iv.producer = id;
                 out.onchip.push_back(iv);
             }

@@ -175,9 +175,10 @@ struct ParsedSchedule {
  * determines, not on the interior computing order. An LFA operator
  * touches at most two fused groups, so consecutive parses re-derive
  * only the dirty groups and reuse every clean group's block verbatim;
- * an order move *within* a group is also a memo hit — the stored block
- * is re-indexed to the new order (ReindexFlgTiling + a cost permute)
- * instead of re-derived. Cheap global passes (tile positions, DRAM
+ * an order move *within* a group is also a memo hit — the stored
+ * block's permutation view (GroupParse::perm) is re-pointed at the new
+ * order instead of re-deriving (or even deep-copying) regions and
+ * costs. Cheap global passes (tile positions, DRAM
  * tensors, intervals) are rebuilt every time, which keeps the result
  * bit-identical to a full parse (ParseOptions::cross_check asserts
  * this).
@@ -186,20 +187,33 @@ struct ParseScratch {
     /** One fused group's memoized parse block. `sorted_layers`/`tiles`
      *  are the full canonical key (signature hashes are collision-
      *  checked); `layers` is the order the block is indexed by, and
-     *  `costs` is round-major: costs[t * layers.size() + i] belongs to
-     *  layers[i] at tile round t. Blocks are content-addressed pure
-     *  values. */
+     *  `costs` is round-major: costs[t * layers.size() + Perm(i)]
+     *  belongs to layers[i] at tile round t. Blocks are
+     *  content-addressed pure values. */
     struct GroupParse {
         std::vector<LayerId> layers;
         std::vector<LayerId> sorted_layers;
         int tiles = 0;
         std::shared_ptr<const FlgTiling> tiling;
         std::vector<TileCost> costs;
+        /** Permutation view: `tiling->regions` and `costs` stay in the
+         *  order the block was first derived in; an interior order move
+         *  only re-points this view (perm[i] = derivation-order index
+         *  of layers[i]) instead of deep-copying regions and costs.
+         *  Empty means identity (freshly derived blocks). */
+        std::vector<std::size_t> perm;
+
+        std::size_t Perm(std::size_t i) const
+        {
+            return perm.empty() ? i : perm[i];
+        }
     };
 
     std::vector<int> flg_of_layer, lg_of_layer, idx_in_flg;
     std::vector<std::vector<LayerId>> flg_layers;
     std::vector<LayerId> sorted_members;  ///< per-group signature scratch
+    std::vector<int> view_pos;            ///< perm-composition scratch
+    std::vector<std::size_t> view_perm;   ///< perm-composition scratch
     std::vector<const GroupParse *> groups;  ///< per-FLG view, this parse
     std::vector<std::vector<TilePos>> pos_of;
     std::vector<TilePos> lg_first, lg_last;

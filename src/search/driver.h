@@ -115,6 +115,10 @@ struct ChainEnv {
      *  exchange migrates a foreign best state in. Re-establishes the
      *  incremental base for the adopted state. */
     std::function<void(const State &, double)> on_adopt;
+    /** Optional: called with the chain's "sa.window" span after each
+     *  window, so the stage can attach evaluation telemetry (delta
+     *  window sizes, resume points, splice counts) to the trace. */
+    std::function<void(obs::SpanScope &)> annotate;
 };
 
 /** Result of a driver run. */
@@ -194,6 +198,7 @@ RunSearchDriver(const State &initial, double initial_cost,
             span.Arg("evaluated",
                      static_cast<std::int64_t>(ch.stats.evaluated));
             span.Arg("best_cost", ch.best_cost);
+            if (ch.env.annotate) ch.env.annotate(span);
         });
         if (r + 1 >= rounds || SaStopRequested(sa_eff)) break;
         // Deterministic exchange: migrate the global best-so-far into

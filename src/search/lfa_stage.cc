@@ -189,6 +189,9 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
     // fallback under tight budgets). The context keeps parse and
     // timeline scratch (and the incremental group memo) alive across
     // candidates; @p ctx and @p ce are per-chain, their caches shared.
+    // EvaluateLfa diffs the candidate parse against the chain's
+    // committed base (see on_accept below) and re-simulates only the
+    // affected timeline window — bit-identical to a full evaluation.
     auto eval_with = [&graph, &hw, stage_budget, total_ops, popts,
                       n = opts.cost_n, m = opts.cost_m](
                          EvalContext &ctx, CoreArrayEvaluator &ce,
@@ -199,15 +202,15 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
         MakeDoubleBufferDlsaInto(parsed, &dlsa_scratch);
         {
             const EvalReport &rep =
-                ctx.Evaluate(graph, hw, parsed, dlsa_scratch, stage_budget,
-                             total_ops);
+                ctx.EvaluateLfa(graph, hw, parsed, dlsa_scratch,
+                                stage_budget, total_ops);
             if (rep.valid) return rep.Cost(n, m);
         }
         // A tight budget may only fit the lazy variant.
         MakeLazyDlsaInto(parsed, &dlsa_scratch);
-        const EvalReport &rep = ctx.Evaluate(graph, hw, parsed,
-                                             dlsa_scratch, stage_budget,
-                                             total_ops);
+        const EvalReport &rep = ctx.EvaluateLfa(graph, hw, parsed,
+                                                dlsa_scratch, stage_budget,
+                                                total_ops);
         return rep.Cost(n, m);
     };
 
@@ -284,6 +287,33 @@ RunLfaStage(const Graph &graph, const HardwareConfig &hw,
         };
         env.evaluate = [eval_with, ce, ctx, dlsa](const LfaEncoding &lfa) {
             return eval_with(*ctx, *ce, *dlsa, lfa);
+        };
+        // Accepted candidates become the delta base: EvaluateLfa diffs
+        // every later candidate's parse against it and resumes the
+        // timeline mid-stream instead of replaying it from tile zero.
+        env.on_accept = [ctx](const LfaEncoding &) { ctx->Commit(); };
+        env.on_adopt = [eval_with, ce, ctx, dlsa](const LfaEncoding &lfa,
+                                                  double) {
+            eval_with(*ctx, *ce, *dlsa, lfa);
+            ctx->Commit();
+        };
+        env.annotate = [ctx](obs::SpanScope &span) {
+            const EvalContext::DeltaStats &ds = ctx->delta_stats();
+            span.Arg("delta_evals",
+                     static_cast<std::int64_t>(ds.delta_evals));
+            span.Arg("windowed_runs",
+                     static_cast<std::int64_t>(ds.windowed_runs));
+            span.Arg("splices", static_cast<std::int64_t>(ds.splices));
+            span.Arg("full_fallbacks",
+                     static_cast<std::int64_t>(ds.full_fallbacks));
+            span.Arg("window_events",
+                     static_cast<std::int64_t>(ds.window_events));
+            span.Arg("last_window_events",
+                     static_cast<std::int64_t>(ds.last_window_events));
+            span.Arg("resume_ci",
+                     static_cast<std::int64_t>(ds.last_resume_ci));
+            span.Arg("resume_di",
+                     static_cast<std::int64_t>(ds.last_resume_di));
         };
         return env;
     };

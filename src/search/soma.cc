@@ -17,48 +17,81 @@ PropagateSomaOptions(SomaOptions opts)
     return opts;
 }
 
+const SomaProfileBudgets &
+SomaBudgetsFor(SomaProfile profile)
+{
+    // Default was raised from (40/6000, 40/8000) once the incremental
+    // LFA pipeline (group-memoized parse + shared tiling/tile-cost
+    // caches) lifted candidates/s; Full carries the paper's budgets
+    // (Sec. V-C): beta_1 = 100, beta_2 = 1000 — the caps only guard
+    // degenerate workloads (thousands of layers / tensors).
+    static const SomaProfileBudgets kQuick = {
+        /*lfa_beta=*/10,   /*lfa_max_iterations=*/600,
+        /*dlsa_beta=*/10,  /*dlsa_max_iterations=*/1500,
+        /*alloc_max_iterations=*/2,
+        /*bench_dlsa_iters=*/2000, /*bench_lfa_iters=*/200,
+        /*bench_stage_iters=*/1500};
+    static const SomaProfileBudgets kDefault = {
+        /*lfa_beta=*/60,   /*lfa_max_iterations=*/12000,
+        /*dlsa_beta=*/200, /*dlsa_max_iterations=*/24000,
+        /*alloc_max_iterations=*/3,
+        /*bench_dlsa_iters=*/10000, /*bench_lfa_iters=*/1000,
+        /*bench_stage_iters=*/6000};
+    static const SomaProfileBudgets kFull = {
+        /*lfa_beta=*/100,   /*lfa_max_iterations=*/50000,
+        /*dlsa_beta=*/1000, /*dlsa_max_iterations=*/150000,
+        /*alloc_max_iterations=*/5,
+        /*bench_dlsa_iters=*/50000, /*bench_lfa_iters=*/4000,
+        /*bench_stage_iters=*/20000};
+    switch (profile) {
+      case SomaProfile::kQuick:
+        return kQuick;
+      case SomaProfile::kFull:
+        return kFull;
+      case SomaProfile::kDefault:
+      default:
+        return kDefault;
+    }
+}
+
+namespace {
+
 SomaOptions
-QuickSomaOptions(std::uint64_t seed)
+OptionsFromBudgets(const SomaProfileBudgets &b, std::uint64_t seed)
 {
     SomaOptions opts;
     opts.seed = seed;
-    opts.lfa.beta = 10;
-    opts.lfa.max_iterations = 600;
-    opts.dlsa.beta = 10;
-    opts.dlsa.max_iterations = 1500;
-    opts.alloc.max_iterations = 2;
+    opts.lfa.beta = b.lfa_beta;
+    opts.lfa.max_iterations = b.lfa_max_iterations;
+    opts.dlsa.beta = b.dlsa_beta;
+    opts.dlsa.max_iterations = b.dlsa_max_iterations;
+    opts.alloc.max_iterations = b.alloc_max_iterations;
     return opts;
+}
+
+}  // namespace
+
+SomaOptions
+QuickSomaOptions(std::uint64_t seed)
+{
+    return OptionsFromBudgets(SomaBudgetsFor(SomaProfile::kQuick), seed);
 }
 
 SomaOptions
 DefaultSomaOptions(std::uint64_t seed)
 {
-    // Raised from (40/6000, 40/8000) once the incremental LFA pipeline
-    // (group-memoized parse + shared tiling/tile-cost caches) lifted
-    // candidates/s — see bench_sa_throughput's lfa rows and DESIGN.md.
-    SomaOptions opts;
-    opts.seed = seed;
+    SomaOptions opts =
+        OptionsFromBudgets(SomaBudgetsFor(SomaProfile::kDefault), seed);
     opts.driver.chains = 4;
-    opts.lfa.beta = 60;
-    opts.lfa.max_iterations = 12000;
-    opts.dlsa.beta = 200;
-    opts.dlsa.max_iterations = 24000;
-    opts.alloc.max_iterations = 3;
     return opts;
 }
 
 SomaOptions
 FullSomaOptions(std::uint64_t seed)
 {
-    // The paper's budgets (Sec. V-C): beta_1 = 100, beta_2 = 1000.
-    // The caps only guard degenerate workloads (thousands of layers /
-    // tensors); typical graphs stay under them.
-    SomaOptions opts = DefaultSomaOptions(seed);
-    opts.lfa.beta = 100;
-    opts.lfa.max_iterations = 50000;
-    opts.dlsa.beta = 1000;
-    opts.dlsa.max_iterations = 150000;
-    opts.alloc.max_iterations = 5;
+    SomaOptions opts =
+        OptionsFromBudgets(SomaBudgetsFor(SomaProfile::kFull), seed);
+    opts.driver.chains = 4;
     return opts;
 }
 

@@ -41,6 +41,31 @@ struct SomaOptions {
     BufferAllocatorOptions alloc;
 };
 
+/** The three canonical search profiles (quick/default/full). */
+enum class SomaProfile { kQuick, kDefault, kFull };
+
+/**
+ * One profile's iteration budgets — the single source the
+ * Quick/Default/FullSomaOptions presets and bench_sa_throughput's
+ * profile table both draw from, so the facade and the bench can never
+ * quote different budgets for the same profile name.
+ */
+struct SomaProfileBudgets {
+    int lfa_beta = 0;
+    int lfa_max_iterations = 0;
+    int dlsa_beta = 0;
+    int dlsa_max_iterations = 0;
+    int alloc_max_iterations = 0;
+    /** bench_sa_throughput loop sizes at this profile: DLSA/LFA inner
+     *  walk iterations and the driver-stage per-chain iteration cap. */
+    int bench_dlsa_iters = 0;
+    int bench_lfa_iters = 0;
+    int bench_stage_iters = 0;
+};
+
+/** The budgets of @p profile (static storage, never changes). */
+const SomaProfileBudgets &SomaBudgetsFor(SomaProfile profile);
+
 /**
  * Copy of @p opts with the top-level cost exponents and driver config
  * propagated into both stage options. RunSoma applies this internally —

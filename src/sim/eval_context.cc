@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <limits>
 
+#include "common/logging.h"
 #include "obs/prof.h"
 
 namespace soma {
@@ -40,14 +42,94 @@ ComputeBufferBySlot(const ParsedSchedule &parsed,
     }
 }
 
+namespace {
+
+/** ComputeBufferBySlot with the difference array drawn from the
+ *  per-candidate arena: same arithmetic, no heap traffic. */
+void
+ComputeUsageWithArena(const ParsedSchedule &parsed,
+                      const std::vector<TilePos> &free_point,
+                      MonotonicArena *arena, std::vector<Bytes> *usage)
+{
+    const int slots = parsed.NumTiles();
+    Bytes *diff = arena->AllocArray<Bytes>(slots + 1);
+    std::fill_n(diff, slots + 1, Bytes{0});
+    auto add = [&](TilePos from, TilePos to, Bytes bytes) {
+        from = std::clamp<TilePos>(from, 0, slots);
+        to = std::clamp<TilePos>(to, 0, slots);
+        if (from >= to) return;
+        diff[from] += bytes;
+        diff[to] -= bytes;
+    };
+    for (const OnchipInterval &iv : parsed.onchip)
+        add(iv.from, iv.to, iv.bytes);
+    for (int j = 0; j < parsed.NumTensors(); ++j) {
+        const DramTensor &t = parsed.tensors[j];
+        if (t.IsLoad()) {
+            add(free_point[j], t.fixed_end, t.bytes);
+        } else {
+            add(t.first_use, free_point[j], t.bytes);
+        }
+    }
+    usage->assign(slots, 0);
+    Bytes run = 0;
+    for (int s = 0; s < slots; ++s) {
+        run += diff[s];
+        (*usage)[s] = run;
+    }
+}
+
+bool
+TimesEqual(const std::vector<EventTiming> &a,
+           const std::vector<EventTiming> &b)
+{
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].start != b[i].start || a[i].finish != b[i].finish)
+            return false;
+    }
+    return true;
+}
+
+bool
+ReportsEqual(const EvalReport &a, const EvalReport &b)
+{
+    return a.valid == b.valid && a.why_invalid == b.why_invalid &&
+           a.latency == b.latency && a.core_energy_j == b.core_energy_j &&
+           a.dram_energy_j == b.dram_energy_j &&
+           a.compute_busy == b.compute_busy && a.dram_busy == b.dram_busy &&
+           a.compute_util == b.compute_util && a.dram_util == b.dram_util &&
+           a.theory_max_util == b.theory_max_util &&
+           a.peak_buffer == b.peak_buffer && a.avg_buffer == b.avg_buffer &&
+           a.dram_bytes == b.dram_bytes && a.num_tiles == b.num_tiles &&
+           a.num_tensors == b.num_tensors && a.num_flgs == b.num_flgs &&
+           a.num_lgs == b.num_lgs && TimesEqual(a.tile_times, b.tile_times) &&
+           TimesEqual(a.tensor_times, b.tensor_times);
+}
+
+}  // namespace
+
+EvalContext::EvalContext()
+{
+    const char *wd = std::getenv("SOMA_TIMELINE_DELTA");
+    if (wd && wd[0] == '0' && wd[1] == '\0') windowed_ = false;
+    const char *cc = std::getenv("SOMA_EVAL_CROSS_CHECK");
+    if (cc && !(cc[0] == '0' && cc[1] == '\0')) cross_check_ = true;
+}
+
 const ParsedSchedule &
 EvalContext::Parse(const Graph &graph, const LfaEncoding &lfa,
                    CoreArrayEvaluator &core_eval, const ParseOptions &popts)
 {
-    InvalidateBase();
+    // The candidate slot is overwritten: any uncommitted evaluation
+    // against it is orphaned. The committed base lives in the other
+    // slot and survives — that is what EvaluateLfa diffs against.
+    cand_fresh_ = false;
+    cand_parsed_ = nullptr;
+    soa_[ps_cand_].built_for = nullptr;
     ParseLfaInto(graph, lfa, core_eval, popts, &parse_scratch_,
-                 &parsed_storage_, tiling_cache_.get());
-    return parsed_storage_;
+                 &parsed_storage_[ps_cand_], tiling_cache_.get());
+    return parsed_storage_[ps_cand_];
 }
 
 void
@@ -120,15 +202,108 @@ EvalContext::RevertPendingStoreMove()
     pending_move_ = false;
 }
 
-bool
-EvalContext::RunTimeline(const ParsedSchedule &parsed,
-                         const HardwareConfig &hw, Side *side, int ci,
-                         int di, double dram_prev_finish)
+void
+EvalContext::BuildSoA(const ParsedSchedule &parsed, TimelineSoA *soa)
 {
-    SOMA_PROF_SCOPE("eval.timeline");
     const int T = parsed.NumTiles();
     const int D = parsed.NumTensors();
+    soa->tile_seconds.resize(T);
+    soa->need_off.resize(T + 1);
+    soa->need_idx.clear();
+    // Separate accumulators in parse order: bitwise-identical to the
+    // sums the full evaluator used to fold per candidate.
+    double sum_seconds = 0.0;
+    double sum_energy = 0.0;
+    for (int t = 0; t < T; ++t) {
+        const TileInfo &tile = parsed.tiles[t];
+        soa->tile_seconds[t] = tile.cost.seconds;
+        sum_energy += tile.cost.energy_pj;
+        sum_seconds += tile.cost.seconds;
+        soa->need_off[t] = static_cast<int>(soa->need_idx.size());
+        soa->need_idx.insert(soa->need_idx.end(), tile.need_loads.begin(),
+                             tile.need_loads.end());
+    }
+    soa->need_off[T] = static_cast<int>(soa->need_idx.size());
+    soa->t_bytes.resize(D);
+    soa->t_is_load.resize(D);
+    soa->t_first_use.resize(D);
+    Bytes sum_bytes = 0;
+    for (int j = 0; j < D; ++j) {
+        const DramTensor &t = parsed.tensors[j];
+        soa->t_bytes[j] = t.bytes;
+        sum_bytes += t.bytes;
+        soa->t_is_load[j] = t.IsLoad() ? 1 : 0;
+        soa->t_first_use[j] = t.first_use;
+    }
+    soa->sum_seconds = sum_seconds;
+    soa->sum_energy_pj = sum_energy;
+    soa->sum_dram_bytes = sum_bytes;
+    soa->built_for = &parsed;
+    soa->hw_for = nullptr;
+}
+
+void
+EvalContext::FillDramSeconds(const HardwareConfig &hw, TimelineSoA *soa)
+{
+    const int D = soa->D();
+    soa->t_dram_seconds.resize(D);
+    // DramSeconds is a pure function of the byte count, so hoisting it
+    // out of the event loop cannot change a single result bit.
+    for (int j = 0; j < D; ++j)
+        soa->t_dram_seconds[j] = hw.DramSeconds(soa->t_bytes[j]);
+    soa->hw_for = &hw;
+}
+
+const EvalContext::TimelineSoA &
+EvalContext::SoAFor(const ParsedSchedule &parsed, const HardwareConfig &hw)
+{
+    TimelineSoA *soa;
+    if (&parsed == &parsed_storage_[0]) {
+        soa = &soa_[0];
+    } else if (&parsed == &parsed_storage_[1]) {
+        soa = &soa_[1];
+    } else {
+        soa = &soa_ext_;
+    }
+    if (soa->built_for != &parsed) BuildSoA(parsed, soa);
+    if (soa->hw_for != &hw) FillDramSeconds(hw, soa);
+    return *soa;
+}
+
+void
+EvalContext::SpliceSuffix(const Side &base, Side *side, int ci, int di)
+{
+    const int D = static_cast<int>(base.ci_at_rank.size());
+    std::copy(base.tile_finish.begin() + ci, base.tile_finish.end(),
+              side->tile_finish.begin() + ci);
+    std::copy(base.rank_at_tile.begin() + ci, base.rank_at_tile.end(),
+              side->rank_at_tile.begin() + ci);
+    std::copy(base.report.tile_times.begin() + ci,
+              base.report.tile_times.end(),
+              side->report.tile_times.begin() + ci);
+    std::copy(base.ci_at_rank.begin() + di, base.ci_at_rank.end(),
+              side->ci_at_rank.begin() + di);
+    for (int r = di; r < D; ++r) {
+        const int j = base.order[r];  // == side->order[r] beyond min_di
+        side->tensor_finish[j] = base.tensor_finish[j];
+        side->report.tensor_times[j] = base.report.tensor_times[j];
+    }
+}
+
+template <bool kWindowed>
+bool
+EvalContext::RunTimelineImpl(const TimelineSoA &soa, Side *side, int ci,
+                             int di, double dram_prev_finish, SpliceWindow *w)
+{
+    const int T = soa.T();
+    const int D = soa.D();
     EvalReport &rep = side->report;
+    const double *tile_seconds = soa.tile_seconds.data();
+    const double *t_dram = soa.t_dram_seconds.data();
+    const int *need_off = soa.need_off.data();
+    const int *need_idx = soa.need_idx.data();
+    const unsigned char *is_load = soa.t_is_load.data();
+    const TilePos *first_use = soa.t_first_use.data();
 
     while (ci < T || di < D) {
         bool progress = false;
@@ -136,19 +311,36 @@ EvalContext::RunTimeline(const ParsedSchedule &parsed,
         // DRAM head: a load waits for tiles before its Start; a store
         // waits for its producing tile.
         while (di < D) {
-            int j = side->order[di];
-            const DramTensor &t = parsed.tensors[j];
+            if constexpr (kWindowed) {
+                // Reconverged with the base trajectory at an aligned
+                // state: every remaining event would recompute the base
+                // values, so copy them instead.
+                if (w->dirty == 0 && di >= w->min_di && ci >= w->min_ci &&
+                    w->base->ci_at_rank[di] == ci) {
+                    SpliceSuffix(*w->base, side, ci, di);
+                    w->spliced = true;
+                    return true;
+                }
+            }
+            const int j = side->order[di];
             double ready;
-            if (t.IsLoad()) {
+            if (is_load[j]) {
                 TilePos s = side->free_point[j];
                 if (s > ci) break;  // tiles before Start not yet scheduled
                 ready = (s == 0) ? 0.0 : side->tile_finish[s - 1];
             } else {
-                if (t.first_use >= ci) break;  // producer not scheduled
-                ready = side->tile_finish[t.first_use];
+                if (first_use[j] >= ci) break;  // producer not scheduled
+                ready = side->tile_finish[first_use[j]];
             }
-            double start = std::max(dram_prev_finish, ready);
-            double finish = start + hw.DramSeconds(t.bytes);
+            const double start = std::max(dram_prev_finish, ready);
+            const double finish = start + t_dram[j];
+            if constexpr (kWindowed) {
+                ++w->events;
+                if (start != w->base->report.tensor_times[j].start ||
+                    finish != w->base->tensor_finish[j] ||
+                    ci != w->base->ci_at_rank[di])
+                    ++w->dirty;
+            }
             rep.tensor_times[j] = EventTiming{start, finish};
             side->tensor_finish[j] = finish;
             side->ci_at_rank[di] = ci;
@@ -160,10 +352,18 @@ EvalContext::RunTimeline(const ParsedSchedule &parsed,
         // Compute head: waits for the previous tile, its operand loads,
         // and all stores whose End equals this tile.
         while (ci < T) {
-            const TileInfo &tile = parsed.tiles[ci];
+            if constexpr (kWindowed) {
+                if (w->dirty == 0 && ci >= w->min_ci && di >= w->min_di &&
+                    w->base->rank_at_tile[ci] == di) {
+                    SpliceSuffix(*w->base, side, ci, di);
+                    w->spliced = true;
+                    return true;
+                }
+            }
             double start = (ci == 0) ? 0.0 : side->tile_finish[ci - 1];
             bool blocked = false;
-            for (int j : tile.need_loads) {
+            for (int k = need_off[ci]; k < need_off[ci + 1]; ++k) {
+                const int j = need_idx[k];
                 if (side->tensor_finish[j] < 0.0) { blocked = true; break; }
                 start = std::max(start, side->tensor_finish[j]);
             }
@@ -177,7 +377,14 @@ EvalContext::RunTimeline(const ParsedSchedule &parsed,
                 }
             }
             if (blocked) break;
-            double finish = start + tile.cost.seconds;
+            const double finish = start + tile_seconds[ci];
+            if constexpr (kWindowed) {
+                ++w->events;
+                if (start != w->base->report.tile_times[ci].start ||
+                    finish != w->base->tile_finish[ci] ||
+                    di != w->base->rank_at_tile[ci])
+                    ++w->dirty;
+            }
             rep.tile_times[ci] = EventTiming{start, finish};
             side->tile_finish[ci] = finish;
             side->rank_at_tile[ci] = di;
@@ -185,37 +392,59 @@ EvalContext::RunTimeline(const ParsedSchedule &parsed,
             progress = true;
         }
 
-        if (!progress) return false;
+        if (!progress) {
+            run_dead_ci_ = ci;
+            run_dead_di_ = di;
+            return false;
+        }
     }
     return true;
 }
 
+bool
+EvalContext::RunTimeline(const TimelineSoA &soa, Side *side, int ci, int di,
+                         double dram_prev_finish)
+{
+    SOMA_PROF_SCOPE("eval.timeline");
+    return RunTimelineImpl<false>(soa, side, ci, di, dram_prev_finish,
+                                  nullptr);
+}
+
+bool
+EvalContext::RunTimelineWindowed(const TimelineSoA &soa, Side *side, int ci,
+                                 int di, double dram_prev_finish,
+                                 SpliceWindow *w)
+{
+    SOMA_PROF_SCOPE("eval.timeline.delta");
+    return RunTimelineImpl<true>(soa, side, ci, di, dram_prev_finish, w);
+}
+
 void
-EvalContext::FinalizeAggregates(const ParsedSchedule &parsed,
+EvalContext::FinalizeAggregates(const TimelineSoA &soa,
                                 const HardwareConfig &hw, Ops total_ops,
-                                Side *side)
+                                Side *side, double known_latency,
+                                double known_avg)
 {
     EvalReport &rep = side->report;
-    const int T = parsed.NumTiles();
+    const int T = soa.T();
 
-    double makespan = 0.0;
-    for (double f : side->tile_finish) makespan = std::max(makespan, f);
-    for (double f : side->tensor_finish) makespan = std::max(makespan, f);
+    double makespan;
+    if (known_latency >= 0.0) {
+        // The splice proved the timeline equals the base's bitwise.
+        makespan = known_latency;
+    } else {
+        makespan = 0.0;
+        for (double f : side->tile_finish) makespan = std::max(makespan, f);
+        for (double f : side->tensor_finish)
+            makespan = std::max(makespan, f);
+    }
     rep.latency = makespan;
 
-    double core_pj = 0.0;
-    double compute_busy = 0.0;
-    for (const TileInfo &t : parsed.tiles) {
-        core_pj += t.cost.energy_pj;
-        compute_busy += t.cost.seconds;
-    }
-    rep.compute_busy = compute_busy;
-
-    Bytes dram_bytes = parsed.TotalDramBytes();
-    rep.dram_bytes = dram_bytes;
-    rep.dram_busy = hw.DramSeconds(dram_bytes);
-    rep.core_energy_j = core_pj * 1e-12;
-    rep.dram_energy_j = static_cast<double>(dram_bytes) *
+    rep.compute_busy = soa.sum_seconds;
+    rep.dram_bytes = soa.sum_dram_bytes;
+    rep.dram_busy = hw.DramSeconds(soa.sum_dram_bytes);
+    rep.core_energy_j = soa.sum_energy_pj * 1e-12;
+    rep.dram_energy_j = static_cast<double>(soa.sum_dram_bytes) *
                         hw.energy.dram_pj_per_byte * 1e-12;
 
     double peak_ops = hw.PeakOpsPerSecond();
@@ -227,12 +456,19 @@ EvalContext::FinalizeAggregates(const ParsedSchedule &parsed,
         bound > 0.0 ? static_cast<double>(total_ops) / (peak_ops * bound)
                     : 0.0;
 
-    // Compute-time-weighted average buffer usage (Fig. 6 definition).
-    double weighted = 0.0;
-    for (int s = 0; s < T; ++s)
-        weighted += static_cast<double>(side->usage[s]) *
-                    parsed.tiles[s].cost.seconds;
-    rep.avg_buffer = compute_busy > 0.0 ? weighted / compute_busy : 0.0;
+    if (known_avg >= 0.0) {
+        // The buffer profile is bitwise the base's; its average is too.
+        rep.avg_buffer = known_avg;
+    } else {
+        // Compute-time-weighted average buffer usage (Fig. 6
+        // definition).
+        double weighted = 0.0;
+        for (int s = 0; s < T; ++s)
+            weighted += static_cast<double>(side->usage[s]) *
+                        soa.tile_seconds[s];
+        rep.avg_buffer =
+            rep.compute_busy > 0.0 ? weighted / rep.compute_busy : 0.0;
+    }
 }
 
 const EvalReport &
@@ -242,10 +478,16 @@ EvalContext::Evaluate(const Graph &graph, const HardwareConfig &hw,
 {
     SOMA_PROF_SCOPE("eval.full");
     (void)graph;
-    // A full evaluation rebuilds the store buckets for the candidate, so
-    // the base's buckets are gone: the base is unusable from here on.
-    pending_move_ = false;
-    base_ok_ = false;
+    // Keep the base's buckets coherent before the rebuild below claims
+    // them for this candidate: the committed base itself survives full
+    // evaluations (EvaluateDelta restores the buckets lazily).
+    RevertPendingStoreMove();
+    arena_.Reset();
+
+    // External parses have no invalidation hook (Parse only guards the
+    // context-owned slots), so re-mirror them on every full pass.
+    if (&parsed != OwnCandParse() && &parsed != OwnBaseParse())
+        soa_ext_.built_for = nullptr;
 
     Side &side = sides_[cand_];
     EvalReport &rep = side.report;
@@ -269,7 +511,7 @@ EvalContext::Evaluate(const Graph &graph, const HardwareConfig &hw,
     for (int r = 0; r < D; ++r) side.rank_of[side.order[r]] = r;
 
     // --- Buffer feasibility (slot-based, Fig. 4 BUFFER row) ---
-    ComputeBufferBySlot(parsed, side.free_point, &diff_, &side.usage);
+    ComputeUsageWithArena(parsed, side.free_point, &arena_, &side.usage);
     Bytes peak = 0;
     for (Bytes b : side.usage) peak = std::max(peak, b);
     rep.peak_buffer = peak;
@@ -279,6 +521,9 @@ EvalContext::Evaluate(const Graph &graph, const HardwareConfig &hw,
     }
 
     RebuildStoreBuckets(parsed, side);
+    buckets_for_base_ = false;
+
+    const TimelineSoA &soa = SoAFor(parsed, hw);
 
     // --- Two serial resources, two-pointer list scheduling ---
     side.tile_finish.assign(T, 0.0);
@@ -289,16 +534,16 @@ EvalContext::Evaluate(const Graph &graph, const HardwareConfig &hw,
     rep.tensor_times.assign(D, EventTiming{});
 
     cand_fresh_ = true;
-    base_parsed_ = &parsed;
-    base_budget_ = buffer_budget;
-    base_ops_ = total_ops;
+    cand_parsed_ = &parsed;
+    cand_budget_ = buffer_budget;
+    cand_ops_ = total_ops;
 
-    if (!RunTimeline(parsed, hw, &side, 0, 0, 0.0)) {
+    if (!RunTimeline(soa, &side, 0, 0, 0.0)) {
         rep.why_invalid = "schedule deadlock (DLSA order)";
         return rep;
     }
 
-    FinalizeAggregates(parsed, hw, total_ops, &side);
+    FinalizeAggregates(soa, hw, total_ops, &side);
     rep.valid = true;
     return rep;
 }
@@ -314,32 +559,48 @@ EvalContext::EvaluateDelta(const Graph &graph, const HardwareConfig &hw,
     if (!base_ok_ || base_parsed_ != &parsed ||
         base_budget_ != buffer_budget || base_ops_ != total_ops ||
         delta.kind == DlsaDelta::Kind::kNone) {
+        ++delta_stats_.full_fallbacks;
         return Evaluate(graph, hw, parsed, cand, buffer_budget, total_ops);
     }
 
+    arena_.Reset();
+    ++delta_stats_.delta_evals;
     const Side &base = sides_[base_];
+    if (!buckets_for_base_) {
+        // A full/LFA evaluation since the last Commit rebuilt the
+        // buckets for its own candidate; restore the base's view.
+        RebuildStoreBuckets(parsed, base);
+        buckets_for_base_ = true;
+    }
+
     Side &side = sides_[cand_];
     EvalReport &rep = side.report;
     const int T = parsed.NumTiles();
     const int D = parsed.NumTensors();
 
-    // Copy the base result; the suffix is overwritten below.
-    rep = base.report;
-    rep.valid = false;
-    rep.why_invalid.clear();
-    side.tile_finish = base.tile_finish;
-    side.tensor_finish = base.tensor_finish;
-    side.ci_at_rank = base.ci_at_rank;
-    side.rank_at_tile = base.rank_at_tile;
     side.usage = base.usage;
     side.rank_of = base.rank_of;
     side.order = cand.order;
     side.free_point = cand.free_point;
     cand_fresh_ = true;
+    cand_parsed_ = &parsed;
+    cand_budget_ = buffer_budget;
+    cand_ops_ = total_ops;
+
+    rep.valid = false;
+    rep.why_invalid.clear();
+    rep.num_tiles = T;
+    rep.num_tensors = D;
+    rep.num_flgs = parsed.num_flgs;
+    rep.num_lgs = parsed.num_lgs;
 
     int ci0 = 0;
     int di0 = 0;
-    bool timing_unchanged = false;
+    int min_ci = 0;  // earliest compute slot the splice may fire at
+    int min_di = 0;  // earliest DRAM rank the splice may fire at
+    // >= 0: the buffer profile is untouched bitwise — peak and
+    // weighted average are the base's, no O(T) rescan.
+    double known_avg = -1.0;
 
     if (delta.kind == DlsaDelta::Kind::kFreePoint) {
         assert(delta.tensor >= 0 && delta.tensor < D);
@@ -359,8 +620,27 @@ EvalContext::EvaluateDelta(const Graph &graph, const HardwareConfig &hw,
         const Bytes signed_bytes = grew ? t.bytes : -t.bytes;
         for (TilePos s = lo; s < hi; ++s) side.usage[s] += signed_bytes;
 
-        Bytes peak = 0;
-        for (Bytes b : side.usage) peak = std::max(peak, b);
+        // Incremental peak: only [lo, hi) changed. Growth can only
+        // raise the peak; shrinkage leaves it intact unless the base
+        // peak could have sat inside the window (then rescan). Integer
+        // max, so this is exact.
+        Bytes peak;
+        if (lo >= hi) {
+            peak = base.report.peak_buffer;
+            known_avg = base.report.avg_buffer;
+        } else {
+            Bytes local = 0;
+            for (TilePos s = lo; s < hi; ++s)
+                local = std::max(local, side.usage[s]);
+            if (grew) {
+                peak = std::max(base.report.peak_buffer, local);
+            } else if (base.report.peak_buffer > local + t.bytes) {
+                peak = base.report.peak_buffer;
+            } else {
+                peak = 0;
+                for (Bytes b : side.usage) peak = std::max(peak, b);
+            }
+        }
         rep.peak_buffer = peak;
         if (peak > buffer_budget) {
             // Mirror the full evaluator's early buffer-overflow report.
@@ -373,9 +653,11 @@ EvalContext::EvaluateDelta(const Graph &graph, const HardwareConfig &hw,
 
         if (t.IsLoad()) {
             // Only the load's own readiness changed: resume where the
-            // base timeline issued it.
+            // base timeline issued it. Once the load is issued, no
+            // remaining structure differs from the base.
             di0 = base.rank_of[delta.tensor];
             ci0 = base.ci_at_rank[di0];
+            min_di = di0 + 1;
         } else {
             // The store now gates a different tile slot: resume at the
             // earlier of the two affected slots. End slots >= NumTiles
@@ -383,10 +665,14 @@ EvalContext::EvaluateDelta(const Graph &graph, const HardwareConfig &hw,
             ApplyStoreMove(delta.tensor, delta.old_point, delta.new_point);
             TilePos tstar = std::min(delta.old_point, delta.new_point);
             if (tstar >= T) {
-                timing_unchanged = true;
+                ci0 = T;  // timing untouched: the "prefix" is all of it
+                di0 = D;
             } else {
                 ci0 = tstar;
                 di0 = base.rank_at_tile[tstar];
+                const TilePos tmax =
+                    std::max(delta.old_point, delta.new_point);
+                min_ci = static_cast<int>(tmax < T ? tmax : tstar) + 1;
             }
         }
     } else {  // kOrderMove
@@ -397,32 +683,358 @@ EvalContext::EvaluateDelta(const Graph &graph, const HardwareConfig &hw,
         for (int r = rmin; r <= rmax; ++r) side.rank_of[side.order[r]] = r;
         di0 = rmin;
         ci0 = base.ci_at_rank[di0];
+        min_di = rmax + 1;
+        // Free points (hence the whole buffer profile) are untouched.
+        rep.peak_buffer = base.report.peak_buffer;
+        known_avg = base.report.avg_buffer;
     }
 
-    if (!timing_unchanged) {
-        // Invalidate the suffix: ranks >= di0 and tiles >= ci0 are
-        // recomputed by the resumed timeline.
-        for (int r = di0; r < D; ++r) {
-            int j = side.order[r];
-            side.tensor_finish[j] = -1.0;
-            rep.tensor_times[j] = EventTiming{};
-        }
-        for (int t2 = ci0; t2 < T; ++t2) {
-            side.tile_finish[t2] = 0.0;
-            rep.tile_times[t2] = EventTiming{};
-        }
+    // Prefix copies only: the resumed run rewrites [ci0/di0, splice)
+    // and SpliceSuffix (or the run itself) fills the rest, so the old
+    // copy-everything-then-invalidate scheme collapses to one pass per
+    // element. tensor_finish doubles as the issued flag the gating
+    // checks read, so unissued ranks are invalidated in the same pass.
+    side.tile_finish.resize(T);
+    side.rank_at_tile.resize(T);
+    side.tensor_finish.resize(D);
+    side.ci_at_rank.resize(D);
+    rep.tile_times.resize(T);
+    rep.tensor_times.resize(D);
+    std::copy_n(base.tile_finish.begin(), ci0, side.tile_finish.begin());
+    std::copy_n(base.rank_at_tile.begin(), ci0,
+                side.rank_at_tile.begin());
+    std::copy_n(base.ci_at_rank.begin(), di0, side.ci_at_rank.begin());
+    std::copy_n(base.report.tile_times.begin(), ci0,
+                rep.tile_times.begin());
+    for (int r = 0; r < di0; ++r) {
+        const int j = base.order[r];  // == side.order[r] below di0
+        side.tensor_finish[j] = base.tensor_finish[j];
+        rep.tensor_times[j] = base.report.tensor_times[j];
+    }
+    for (int r = di0; r < D; ++r)
+        side.tensor_finish[side.order[r]] = -1.0;
+
+    double known_latency = -1.0;
+    if (!(ci0 == T && di0 == D)) {
         double dram_prev =
             di0 > 0 ? side.tensor_finish[side.order[di0 - 1]] : 0.0;
-        if (!RunTimeline(parsed, hw, &side, ci0, di0, dram_prev)) {
+        const TimelineSoA &soa = SoAFor(parsed, hw);
+        bool ok;
+        if (windowed_) {
+            SpliceWindow w;
+            w.base = &base;
+            w.min_ci = min_ci;
+            w.min_di = min_di;
+            ok = RunTimelineWindowed(soa, &side, ci0, di0, dram_prev, &w);
+            ++delta_stats_.windowed_runs;
+            delta_stats_.window_events +=
+                static_cast<std::uint64_t>(w.events);
+            delta_stats_.last_window_events = w.events;
+            delta_stats_.last_resume_ci = ci0;
+            delta_stats_.last_resume_di = di0;
+            if (ok && w.spliced) {
+                ++delta_stats_.splices;
+                known_latency = base.report.latency;
+            }
+        } else {
+            ok = RunTimeline(soa, &side, ci0, di0, dram_prev);
+        }
+        if (!ok) {
+            // Deadlock. The resumed run reproduced the full trajectory
+            // up to the stalled heads; everything beyond them is stale
+            // prefix-copy leftovers the canonical report zero-fills.
+            for (int t2 = run_dead_ci_; t2 < T; ++t2)
+                rep.tile_times[t2] = EventTiming{};
+            for (int r = run_dead_di_; r < D; ++r)
+                rep.tensor_times[side.order[r]] = EventTiming{};
             ResetAggregates(&rep);
             rep.why_invalid = "schedule deadlock (DLSA order)";
             return rep;
         }
+        FinalizeAggregates(soa, hw, total_ops, &side, known_latency,
+                           known_avg);
+    } else {
+        // The copied arrays ARE the candidate's timeline.
+        FinalizeAggregates(SoAFor(parsed, hw), hw, total_ops, &side,
+                           base.report.latency, known_avg);
+    }
+    rep.valid = true;
+    if (cross_check_) {
+        CrossCheckAgainstFull(hw, parsed, cand, buffer_budget, total_ops,
+                              "eval.delta");
+        ++delta_stats_.cross_check_passes;
+    }
+    return rep;
+}
+
+const EvalReport &
+EvalContext::EvaluateLfa(const Graph &graph, const HardwareConfig &hw,
+                         const ParsedSchedule &parsed,
+                         const DlsaEncoding &dlsa, Bytes buffer_budget,
+                         Ops total_ops)
+{
+    RevertPendingStoreMove();
+    if (!windowed_ || !base_ok_ || &parsed != OwnCandParse() ||
+        base_parsed_ != OwnBaseParse() || base_budget_ != buffer_budget ||
+        base_ops_ != total_ops || !parsed.valid) {
+        ++delta_stats_.full_fallbacks;
+        return Evaluate(graph, hw, parsed, dlsa, buffer_budget, total_ops);
+    }
+    SOMA_PROF_SCOPE("eval.delta.lfa");
+    arena_.Reset();
+    ++delta_stats_.delta_evals;
+
+    const ParsedSchedule &bp = *base_parsed_;
+    const Side &base = sides_[base_];
+    const TimelineSoA &sc = SoAFor(parsed, hw);
+    const TimelineSoA &sb = SoAFor(bp, hw);
+    const int T = sc.T(), D = sc.D();
+    const int Tb = sb.T(), Db = sb.D();
+    const int Tmin = std::min(T, Tb);
+    const int Dmin = std::min(D, Db);
+
+    // --- First/last-diff scans over the SoA mirrors ---
+    auto tile_eq = [&](int t) {
+        if (sc.tile_seconds[t] != sb.tile_seconds[t]) return false;
+        const int cb = sc.need_off[t], ce = sc.need_off[t + 1];
+        const int bb = sb.need_off[t], be = sb.need_off[t + 1];
+        if (ce - cb != be - bb) return false;
+        return std::equal(sc.need_idx.begin() + cb, sc.need_idx.begin() + ce,
+                          sb.need_idx.begin() + bb);
+    };
+    auto tensor_eq = [&](int j) {
+        return j < Dmin && sc.t_bytes[j] == sb.t_bytes[j] &&
+               sc.t_is_load[j] == sb.t_is_load[j] &&
+               sc.t_first_use[j] == sb.t_first_use[j] &&
+               dlsa.free_point[j] == base.free_point[j];
+    };
+
+    int it0 = (T == Tb) ? T : Tmin;  // first differing tile slot
+    for (int t = 0; t < Tmin; ++t) {
+        if (!tile_eq(t)) { it0 = t; break; }
+    }
+    int it_hi = -1;  // last differing tile slot (splice bound)
+    if (T == Tb && it0 < T) {
+        for (int t = T - 1; t >= it0; --t) {
+            if (!tile_eq(t)) { it_hi = t; break; }
+        }
     }
 
-    FinalizeAggregates(parsed, hw, total_ops, &side);
+    // Store gate slots whose membership can differ between the sides.
+    int s_lo = std::numeric_limits<int>::max();
+    int s_hi = -1;
+    {
+        const int Dmax = std::max(D, Db);
+        for (int j = 0; j < Dmax; ++j) {
+            if (tensor_eq(j)) continue;
+            if (j < D && !sc.t_is_load[j] && dlsa.free_point[j] < T) {
+                s_lo = std::min(s_lo, static_cast<int>(dlsa.free_point[j]));
+                s_hi = std::max(s_hi, static_cast<int>(dlsa.free_point[j]));
+            }
+            if (j < Db && !sb.t_is_load[j] && base.free_point[j] < Tb) {
+                s_lo = std::min(s_lo, static_cast<int>(base.free_point[j]));
+                s_hi = std::max(s_hi, static_cast<int>(base.free_point[j]));
+            }
+        }
+    }
+
+    // First/last rank where the issue structure differs.
+    const int R = std::min(D, Db);
+    int r_lo = R;
+    for (int r = 0; r < R; ++r) {
+        const int jc = dlsa.order[r];
+        if (jc != base.order[r] || !tensor_eq(jc)) { r_lo = r; break; }
+    }
+    int last_bad = -1;
+    if (T == Tb && D == Db && r_lo < D) {
+        for (int r = D - 1; r >= r_lo; --r) {
+            const int jc = dlsa.order[r];
+            if (jc != base.order[r] || !tensor_eq(jc)) {
+                last_bad = r;
+                break;
+            }
+        }
+    }
+
+    Side &side = sides_[cand_];
+    EvalReport &rep = side.report;
+    ResetReportForEval(parsed, &rep);
+    cand_fresh_ = false;
+
+    side.order = dlsa.order;
+    side.free_point = dlsa.free_point;
+    side.rank_of.assign(D, 0);
+    for (int r = 0; r < D; ++r) side.rank_of[side.order[r]] = r;
+
+    // Occupancy is recomputed outright (onchip intervals are not part
+    // of the diff scans); identical arithmetic to the full path.
+    ComputeUsageWithArena(parsed, side.free_point, &arena_, &side.usage);
+    Bytes peak = 0;
+    for (Bytes b : side.usage) peak = std::max(peak, b);
+    rep.peak_buffer = peak;
+    if (peak > buffer_budget) {
+        // Exits before the bucket rebuild: the base's buckets (and its
+        // delta fast paths) survive a rejected over-budget candidate.
+        rep.why_invalid = "buffer overflow";
+        return rep;
+    }
+
+    RebuildStoreBuckets(parsed, side);
+    buckets_for_base_ = false;
+
+    cand_fresh_ = true;
+    cand_parsed_ = &parsed;
+    cand_budget_ = buffer_budget;
+    cand_ops_ = total_ops;
+
+    // --- Resume point: the latest base checkpoint strictly before
+    // anything the re-run could observe differently ---
+    const bool all_clean = T == Tb && D == Db && it0 == T && s_hi == -1 &&
+                           r_lo == D;
+    const int it_lim = std::min(it0, s_lo);
+    int dstar = 0;
+    if (all_clean) {
+        dstar = D;
+    } else {
+        // prev_ci(di) = compute position right after rank di-1 issued;
+        // monotone in di, so the first hit from the top is the largest.
+        // Strict '<': tile it_lim's gates are consulted by the compute
+        // head's blocked checks while it sits at it_lim.
+        for (int di = r_lo; di >= 1; --di) {
+            if (base.ci_at_rank[di - 1] < it_lim) {
+                dstar = di;
+                break;
+            }
+        }
+    }
+    const int cstar =
+        all_clean ? T : (dstar > 0 ? base.ci_at_rank[dstar - 1] : 0);
+    delta_stats_.last_resume_ci = cstar;
+    delta_stats_.last_resume_di = dstar;
+
+    double known_latency = -1.0;
+    if (all_clean) {
+        // Timeline-identical to the base: copy it wholesale.
+        side.tile_finish = base.tile_finish;
+        side.tensor_finish = base.tensor_finish;
+        side.ci_at_rank = base.ci_at_rank;
+        side.rank_at_tile = base.rank_at_tile;
+        rep.tile_times = base.report.tile_times;
+        rep.tensor_times = base.report.tensor_times;
+        known_latency = base.report.latency;
+        ++delta_stats_.splices;
+    } else {
+        side.tile_finish.assign(T, 0.0);
+        side.tensor_finish.assign(D, -1.0);
+        side.ci_at_rank.assign(D, 0);
+        side.rank_at_tile.assign(T, 0);
+        rep.tile_times.assign(T, EventTiming{});
+        rep.tensor_times.assign(D, EventTiming{});
+        std::copy_n(base.tile_finish.begin(), cstar,
+                    side.tile_finish.begin());
+        std::copy_n(base.rank_at_tile.begin(), cstar,
+                    side.rank_at_tile.begin());
+        std::copy_n(base.report.tile_times.begin(), cstar,
+                    rep.tile_times.begin());
+        std::copy_n(base.ci_at_rank.begin(), dstar,
+                    side.ci_at_rank.begin());
+        for (int r = 0; r < dstar; ++r) {
+            const int j = base.order[r];  // == side.order[r] below r_lo
+            side.tensor_finish[j] = base.tensor_finish[j];
+            rep.tensor_times[j] = base.report.tensor_times[j];
+        }
+
+        const double dram_prev =
+            dstar > 0 ? base.tensor_finish[base.order[dstar - 1]] : 0.0;
+        bool ok;
+        if (T == Tb && D == Db) {
+            SpliceWindow w;
+            w.base = &base;
+            w.min_di = last_bad + 1;
+            w.min_ci = std::max(it_hi, s_hi) + 1;
+            ok = RunTimelineWindowed(sc, &side, cstar, dstar, dram_prev, &w);
+            ++delta_stats_.windowed_runs;
+            delta_stats_.window_events +=
+                static_cast<std::uint64_t>(w.events);
+            delta_stats_.last_window_events = w.events;
+            if (ok && w.spliced) {
+                ++delta_stats_.splices;
+                known_latency = base.report.latency;
+            }
+        } else {
+            // Sizes differ: only the prefix is shared; no splice.
+            ok = RunTimeline(sc, &side, cstar, dstar, dram_prev);
+        }
+        if (!ok) {
+            // Deadlock: defer to the full evaluator for the canonical
+            // partial-timeline report.
+            ++delta_stats_.full_fallbacks;
+            return Evaluate(graph, hw, parsed, dlsa, buffer_budget,
+                            total_ops);
+        }
+    }
+
+    FinalizeAggregates(sc, hw, total_ops, &side, known_latency);
     rep.valid = true;
+    if (cross_check_) {
+        CrossCheckAgainstFull(hw, parsed, dlsa, buffer_budget, total_ops,
+                              "eval.delta.lfa");
+        ++delta_stats_.cross_check_passes;
+    }
     return rep;
+}
+
+void
+EvalContext::CrossCheckAgainstFull(const HardwareConfig &hw,
+                                   const ParsedSchedule &parsed,
+                                   const DlsaEncoding &dlsa,
+                                   Bytes buffer_budget, Ops total_ops,
+                                   const char *what)
+{
+    const Side &got = sides_[cand_];
+    Side &ref = check_side_;
+    EvalReport &rrep = ref.report;
+    ResetReportForEval(parsed, &rrep);
+    const int T = parsed.NumTiles();
+    const int D = parsed.NumTensors();
+    ref.order = dlsa.order;
+    ref.free_point = dlsa.free_point;
+    ref.rank_of.assign(D, 0);
+    for (int r = 0; r < D; ++r) ref.rank_of[ref.order[r]] = r;
+    ComputeUsageWithArena(parsed, ref.free_point, &arena_, &ref.usage);
+    Bytes peak = 0;
+    for (Bytes b : ref.usage) peak = std::max(peak, b);
+    rrep.peak_buffer = peak;
+    ref.tile_finish.assign(T, 0.0);
+    ref.tensor_finish.assign(D, -1.0);
+    ref.ci_at_rank.assign(D, 0);
+    ref.rank_at_tile.assign(T, 0);
+    rrep.tile_times.assign(T, EventTiming{});
+    rrep.tensor_times.assign(D, EventTiming{});
+    const TimelineSoA &soa = SoAFor(parsed, hw);
+    // The store buckets describe `dlsa` after every fast path (order
+    // and load moves leave them untouched, a store move was applied,
+    // the LFA path rebuilt them) — the reference run uses them as-is.
+    const bool ok =
+        peak <= buffer_budget && RunTimeline(soa, &ref, 0, 0, 0.0);
+    if (ok) {
+        FinalizeAggregates(soa, hw, total_ops, &ref);
+        rrep.valid = true;
+    }
+    // The two-pointer bookkeeping (ci_at_rank / rank_at_tile) records
+    // the traversal, which a resumed run may legally interleave
+    // differently; every *value* must match bit-for-bit.
+    const bool same = ok && ReportsEqual(got.report, rrep) &&
+                      got.tile_finish == ref.tile_finish &&
+                      got.tensor_finish == ref.tensor_finish &&
+                      got.usage == ref.usage;
+    if (!same) {
+        SOMA_ERROR << "delta evaluation diverged from full simulation ("
+                   << what << "): fast-path latency=" << got.report.latency
+                   << " full latency=" << rrep.latency
+                   << " — windowed delta evaluator bug";
+        std::abort();
+    }
 }
 
 void
@@ -431,8 +1043,19 @@ EvalContext::Commit()
     if (!cand_fresh_) return;
     std::swap(cand_, base_);
     cand_fresh_ = false;
-    pending_move_ = false;  // the buckets now describe the new base
+    // The buckets describe the just-promoted base: a delta fast path
+    // left them matching its candidate (any pending store move is now
+    // permanent) and the full/LFA paths rebuilt them for it.
+    pending_move_ = false;
+    buckets_for_base_ = true;
+    base_parsed_ = cand_parsed_;
+    base_budget_ = cand_budget_;
+    base_ops_ = cand_ops_;
     base_ok_ = sides_[base_].report.valid;
+    // Candidate evaluated against the context-owned parse slot: flip
+    // the double buffer so the next Parse leaves the base's parse (and
+    // its SoA mirror) intact.
+    if (base_parsed_ == OwnCandParse()) std::swap(ps_cand_, ps_base_);
 }
 
 void
@@ -441,7 +1064,9 @@ EvalContext::InvalidateBase()
     base_ok_ = false;
     cand_fresh_ = false;
     pending_move_ = false;
+    buckets_for_base_ = false;
     base_parsed_ = nullptr;
+    cand_parsed_ = nullptr;
 }
 
 }  // namespace soma

@@ -118,8 +118,8 @@ ComputeFlgTiling(const Graph &graph, const std::vector<LayerId> &flg_layers,
     return result;
 }
 
-FlgTiling
-ReindexFlgTiling(const FlgTiling &src, const std::vector<LayerId> &src_order,
+void
+OrderPermutation(const std::vector<LayerId> &src_order,
                  const std::vector<LayerId> &dst_order,
                  std::vector<std::size_t> *perm_out)
 {
@@ -128,14 +128,22 @@ ReindexFlgTiling(const FlgTiling &src, const std::vector<LayerId> &src_order,
     src_index.reserve(src_order.size());
     for (std::size_t i = 0; i < src_order.size(); ++i)
         src_index[src_order[i]] = i;
-    std::vector<std::size_t> local_perm;
-    std::vector<std::size_t> &perm = perm_out ? *perm_out : local_perm;
-    perm.resize(dst_order.size());
+    perm_out->resize(dst_order.size());
     for (std::size_t i = 0; i < dst_order.size(); ++i) {
         auto it = src_index.find(dst_order[i]);
         assert(it != src_index.end() && "dst_order must permute src_order");
-        perm[i] = it->second;
+        (*perm_out)[i] = it->second;
     }
+}
+
+FlgTiling
+ReindexFlgTiling(const FlgTiling &src, const std::vector<LayerId> &src_order,
+                 const std::vector<LayerId> &dst_order,
+                 std::vector<std::size_t> *perm_out)
+{
+    std::vector<std::size_t> local_perm;
+    std::vector<std::size_t> &perm = perm_out ? *perm_out : local_perm;
+    OrderPermutation(src_order, dst_order, &perm);
     FlgTiling out;
     out.valid = src.valid;
     out.split = src.split;

@@ -75,6 +75,18 @@ FlgTiling ComputeFlgTiling(const Graph &graph,
                            int tiles);
 
 /**
+ * The dst->src index mapping between two orders of one member set:
+ * fills @p perm_out with perm_out[i] = j where dst_order[i] ==
+ * src_order[j] — the indirection behind permutation-view FlgTiling
+ * blocks (TilingCache::GetView, the parser's group memo), which index
+ * a stored block through it instead of materializing a re-ordered
+ * copy.
+ */
+void OrderPermutation(const std::vector<LayerId> &src_order,
+                      const std::vector<LayerId> &dst_order,
+                      std::vector<std::size_t> *perm_out);
+
+/**
  * Re-index @p src, computed for the layer order @p src_order, to the
  * order @p dst_order (a permutation of the same member set): the
  * returned tiling satisfies result.regions[i] == src.regions[j] where

@@ -80,6 +80,55 @@ TilingCache::Get(const Graph &graph, const std::vector<LayerId> &flg_layers,
     return it->second.tiling;
 }
 
+std::shared_ptr<const FlgTiling>
+TilingCache::GetView(const Graph &graph,
+                     const std::vector<LayerId> &flg_layers, int tiles,
+                     std::vector<std::size_t> *perm_out)
+{
+    perm_out->clear();
+    Key key{flg_layers, tiles};
+    std::sort(key.members.begin(), key.members.end());
+    Shard &shard = ShardFor(key);
+    {
+        std::shared_ptr<const FlgTiling> tiling;
+        std::vector<LayerId> stored_order;
+        {
+            SharedReaderLock lock(shard.mutex);
+            auto it = shard.map.find(key);
+            if (it != shard.map.end()) {
+                shard.hits.fetch_add(1, std::memory_order_relaxed);
+                if (it->second.order == flg_layers) return it->second.tiling;
+                tiling = it->second.tiling;
+                stored_order = it->second.order;
+            }
+        }
+        if (tiling) {
+            // Hand back the stored derivation plus the view mapping —
+            // unlike Get, no re-indexed copy is materialized.
+            shard.remaps.fetch_add(1, std::memory_order_relaxed);
+            if (tiling->valid)
+                OrderPermutation(stored_order, flg_layers, perm_out);
+            return tiling;
+        }
+    }
+    SOMA_PROF_SCOPE("tiling.derive");
+    auto tiling = std::make_shared<const FlgTiling>(
+        ComputeFlgTiling(graph, flg_layers, tiles));
+    SharedMutexLock lock(shard.mutex);
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    if (shard.map.size() >= kMaxEntriesPerShard) shard.map.clear();
+    // A racing thread may have published first; share whichever landed
+    // (both are the same pure value), viewed through the perm when the
+    // resident derivation order differs.
+    auto [it, inserted] =
+        shard.map.emplace(std::move(key), Value{flg_layers, tiling});
+    if (!inserted && it->second.order != flg_layers) {
+        if (it->second.tiling->valid)
+            OrderPermutation(it->second.order, flg_layers, perm_out);
+    }
+    return it->second.tiling;
+}
+
 TilingCache::Stats
 TilingCache::stats() const
 {

@@ -79,6 +79,19 @@ class TilingCache {
         const Graph &graph, const std::vector<LayerId> &flg_layers,
         int tiles);
 
+    /**
+     * Copy-free Get: on a hit whose stored derivation order differs
+     * from @p flg_layers, returns the stored tiling *as derived* and
+     * fills @p perm_out with the dst->src view mapping (perm_out[i] =
+     * stored index of flg_layers[i]) so the caller indexes through it
+     * — no re-indexed FlgTiling is materialized. @p perm_out is
+     * cleared (identity) when the stored order already matches, on a
+     * miss, and for invalid tilings.
+     */
+    std::shared_ptr<const FlgTiling> GetView(
+        const Graph &graph, const std::vector<LayerId> &flg_layers,
+        int tiles, std::vector<std::size_t> *perm_out);
+
     Stats stats() const;
     std::size_t size() const;
     /** Rough resident footprint (keys + stored tilings) in bytes, for

@@ -1,0 +1,55 @@
+// Fixture: heap growth inside loops in a SOMA_PROF_SCOPE-marked hot
+// path. The per-candidate simulation/parse loops must bump-allocate
+// from pre-sized scratch (arena discipline); `new`, make_unique and
+// vector growth inside such a loop are findings. Allocations before
+// the scope, outside any loop, or past the scope's closing brace are
+// fine — as is `.assign` onto pre-sized storage.
+#include <memory>
+#include <vector>
+
+#define SOMA_PROF_SCOPE(name)
+
+namespace fixture {
+
+struct Event {
+    int at = 0;
+};
+
+inline int
+SimulateTimeline(const std::vector<int> &tiles)
+{
+    std::vector<Event> warmup;
+    warmup.reserve(tiles.size());  // pre-sizing outside the scope: fine
+    SOMA_PROF_SCOPE("eval.timeline");
+    std::vector<Event> events;
+    events.reserve(tiles.size());  // not in a loop: fine
+    int acc = 0;
+    for (int t : tiles) {
+        events.push_back(Event{t});  // finding: hot-alloc (growth)
+        Event *e = new Event{t};     // finding: hot-alloc (new)
+        acc += e->at;
+        delete e;
+    }
+    std::size_t i = 0;
+    while (i < tiles.size())
+        acc += std::make_unique<Event>(Event{tiles[i++]})->at;
+    // ^ finding: hot-alloc (make_unique, single-statement loop body)
+    return acc;
+}
+
+inline int
+AfterTheScope(const std::vector<int> &tiles)
+{
+    int acc = 0;
+    {
+        SOMA_PROF_SCOPE("eval.full");
+        std::vector<int> scratch(tiles.size());
+        for (std::size_t i = 0; i < tiles.size(); ++i)
+            acc += scratch[i];  // no growth in the loop: fine
+    }
+    std::vector<int> cold;
+    for (int t : tiles) cold.push_back(t);  // past the scope: fine
+    return acc + static_cast<int>(cold.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: amortized allocations inside a SOMA_PROF_SCOPE region with
+// explicit waivers — the dirty-group / cache-miss pattern, where the
+// allocation runs once per structural change rather than once per
+// candidate. Each waiver names why the path is off the hot loop.
+#include <memory>
+#include <vector>
+
+#define SOMA_PROF_SCOPE(name)
+
+namespace fixture {
+
+struct Block {
+    std::vector<int> costs;
+};
+
+inline int
+ReparseDirtyGroups(const std::vector<int> &dirty)
+{
+    SOMA_PROF_SCOPE("parse.lfa");
+    int acc = 0;
+    std::vector<std::unique_ptr<Block>> blocks;
+    for (int g : dirty) {
+        // somalint: allow(hot-alloc) dirty path: once per mutation
+        blocks.push_back(std::make_unique<Block>());
+        // somalint: allow(hot-alloc) cache-miss derivation is amortized
+        blocks.back()->costs.resize(static_cast<std::size_t>(g));
+        acc += g;
+    }
+    return acc + static_cast<int>(blocks.size());
+}
+
+}  // namespace fixture

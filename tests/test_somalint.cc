@@ -136,6 +136,26 @@ TEST(Somalint, GuardedFieldWaiverIsHonored)
     EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST(Somalint, HotAllocFiresOnLoopGrowthInProfScopes)
+{
+    const LintRun run = RunLint(Fixture("hot_alloc_violation.cc"));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    // push_back + new in the brace-body for loop, make_unique in the
+    // single-statement while body; the pre-loop reserve, the pre-sized
+    // scratch loop and the post-scope push_back stay quiet.
+    EXPECT_EQ(CountFindings(run.output, "hot-alloc"), 3) << run.output;
+    EXPECT_NE(run.output.find("push_back"), std::string::npos);
+    EXPECT_NE(run.output.find("'new'"), std::string::npos);
+    EXPECT_NE(run.output.find("make_unique"), std::string::npos);
+    EXPECT_EQ(run.output.find("reserve"), std::string::npos) << run.output;
+}
+
+TEST(Somalint, HotAllocWaiverIsHonored)
+{
+    const LintRun run = RunLint(Fixture("hot_alloc_waived.cc"));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST(Somalint, WholeFixtureDirectoryAggregatesFindings)
 {
     const LintRun run = RunLint(std::string(SOMA_LINT_FIXTURES));
@@ -146,6 +166,7 @@ TEST(Somalint, WholeFixtureDirectoryAggregatesFindings)
     EXPECT_GE(CountFindings(run.output, "steady-now"), 2);
     EXPECT_GE(CountFindings(run.output, "raw-mutex"), 3);
     EXPECT_GE(CountFindings(run.output, "guarded-field"), 2);
+    EXPECT_GE(CountFindings(run.output, "hot-alloc"), 3);
 }
 
 TEST(Somalint, OutputIsDeterministic)

@@ -4,7 +4,7 @@
  *
  * A dependency-free token-level lint over src/ tools/ bench/ that turns
  * the project's prose contracts (DESIGN.md "Static analysis &
- * concurrency discipline") into a CI gate. Five checks:
+ * concurrency discipline") into a CI gate. Six checks:
  *
  *  - wallclock: no wall-clock or libc randomness in scheduling code.
  *    Every TTL, deadline and expiry in the tree is steady_clock
@@ -52,6 +52,21 @@
  *    CondVar itself — or carry a waiver naming why it is safe
  *    unguarded (internally-synchronized sub-objects, pre-scheduling
  *    configuration).
+ *
+ *  - hot-alloc: no heap growth inside loops in SOMA_PROF_SCOPE-marked
+ *    hot paths. A prof scope marks code that runs once per SA
+ *    candidate (timeline simulation, tile-cost evaluation, the
+ *    incremental parse); a `new`, `make_unique`/`make_shared`, or
+ *    vector growth call (`push_back`/`emplace_back`/`resize`/
+ *    `reserve`/`insert`) inside a loop there turns the per-candidate
+ *    cost from "bump-allocate from the EvalContext arena" back into
+ *    malloc traffic. Scans forward from each SOMA_PROF_SCOPE to the
+ *    end of its enclosing block and flags growth calls inside any
+ *    for/while/do loop in that region. `.assign()`/`std::copy_n` onto
+ *    pre-sized storage stay fine — that is the arena discipline.
+ *    Amortized allocations (cache-miss derivation, dirty-group
+ *    re-parse) take an explicit waiver naming why they are off the
+ *    per-candidate path.
  *
  * Waivers: `// somalint: allow(<check>[, <check>]) <reason>` on the
  * finding's line or the line directly above it. Waivers are per-line
@@ -740,6 +755,136 @@ CheckGuardedFields(const FileScan &scan, std::vector<Finding> *findings)
 }
 
 // ---------------------------------------------------------------------------
+// Check: hot-alloc
+// ---------------------------------------------------------------------------
+
+/**
+ * Flag heap growth inside loops within a SOMA_PROF_SCOPE-marked
+ * region. The region runs from the macro to the close of its enclosing
+ * block; a loop is a `for`/`while` header (plus `do` blocks) inside
+ * that region. Growth calls are `new`, `make_unique`/`make_shared`,
+ * and container-growth members (`push_back`, `emplace_back`, `emplace`,
+ * `resize`, `reserve`, `insert`) — `.assign`/`std::copy_n` onto
+ * pre-sized storage are deliberately not flagged.
+ */
+void
+CheckHotAlloc(const FileScan &scan, std::vector<Finding> *findings)
+{
+    if (fs::path(scan.path).filename() == "prof.h") return;
+    static const std::set<std::string> kMakers = {"make_unique",
+                                                  "make_shared"};
+    static const std::set<std::string> kGrowth = {
+        "push_back", "emplace_back", "emplace",
+        "resize",    "reserve",      "insert",
+    };
+    const auto &toks = scan.tokens;
+    for (std::size_t s = 0; s < toks.size(); ++s) {
+        if (!toks[s].is_identifier || toks[s].text != "SOMA_PROF_SCOPE")
+            continue;
+        int depth = 0;          // brace depth relative to the macro
+        int loop_depth = 0;     // brace-loop bodies currently open
+        int stmt_loops = 0;     // single-statement loop bodies open
+        std::vector<int> loop_open_depths;
+        bool pending_header = false;  // saw for/while, inside its (...)
+        bool awaiting_body = false;   // header closed, body token next
+        int header_parens = 0;
+        for (std::size_t j = s + 1; j < toks.size(); ++j) {
+            const Token &t = toks[j];
+            if (awaiting_body) {
+                awaiting_body = false;
+                if (t.text == "{") {
+                    ++depth;
+                    loop_open_depths.push_back(depth);
+                    ++loop_depth;
+                    continue;
+                }
+                ++stmt_loops;  // single-statement body, runs to ';'
+            }
+            if (pending_header) {
+                if (t.text == "(") ++header_parens;
+                if (t.text == ")" && --header_parens == 0) {
+                    pending_header = false;
+                    awaiting_body = true;
+                }
+                continue;
+            }
+            if (t.text == "{") {
+                ++depth;
+                continue;
+            }
+            if (t.text == "}") {
+                if (!loop_open_depths.empty() &&
+                    loop_open_depths.back() == depth) {
+                    loop_open_depths.pop_back();
+                    --loop_depth;
+                }
+                if (--depth < 0) break;  // left the scoped block
+                continue;
+            }
+            if (t.text == ";" && stmt_loops > 0) {
+                stmt_loops = 0;
+                continue;
+            }
+            if (t.is_identifier &&
+                (t.text == "for" || t.text == "while")) {
+                // `do { ... } while (cond);` — the trailing while's
+                // parens have no body; skipping them as a header would
+                // otherwise mark the next statement a loop body.
+                if (j > 0 && toks[j - 1].text == "}") {
+                    pending_header = true;
+                    header_parens = 0;
+                    // consume the (...) but expect no body
+                    int p = 0;
+                    while (++j < toks.size()) {
+                        if (toks[j].text == "(") ++p;
+                        if (toks[j].text == ")" && --p == 0) break;
+                    }
+                    pending_header = false;
+                    continue;
+                }
+                pending_header = true;
+                header_parens = 0;
+                continue;
+            }
+            if (t.is_identifier && t.text == "do") {
+                awaiting_body = true;
+                continue;
+            }
+            if (loop_depth == 0 && stmt_loops == 0) continue;
+            if (!t.is_identifier) continue;
+            if (t.text == "new") {
+                Report(scan, t.line, "hot-alloc",
+                       "'new' inside a loop in a SOMA_PROF_SCOPE "
+                       "region — use the EvalContext arena or "
+                       "pre-sized scratch; waive amortized paths "
+                       "with a reason",
+                       findings);
+                continue;
+            }
+            if (kMakers.count(t.text)) {
+                Report(scan, t.line, "hot-alloc",
+                       "'" + t.text +
+                           "' inside a loop in a SOMA_PROF_SCOPE "
+                           "region — hoist the allocation out of the "
+                           "hot loop or waive with a reason",
+                       findings);
+                continue;
+            }
+            if (kGrowth.count(t.text) && j > 0 &&
+                (toks[j - 1].text == "." || toks[j - 1].text == "->") &&
+                j + 1 < toks.size() && toks[j + 1].text == "(") {
+                Report(scan, t.line, "hot-alloc",
+                       "container growth '" + t.text +
+                           "(' inside a loop in a SOMA_PROF_SCOPE "
+                           "region — assign into pre-sized storage "
+                           "(arena discipline) or waive with a reason",
+                       findings);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -811,6 +956,7 @@ Run(const std::vector<std::string> &roots)
         CheckSteadyNow(scan, &findings);
         CheckRawMutex(scan, &findings);
         CheckGuardedFields(scan, &findings);
+        CheckHotAlloc(scan, &findings);
     }
 
     std::sort(findings.begin(), findings.end());
@@ -843,7 +989,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: somalint <file-or-dir>...\n"
                      "checks: wallclock, unordered-iter, steady-now, "
-                     "raw-mutex, guarded-field\n"
+                     "raw-mutex, guarded-field, hot-alloc\n"
                      "waive:  // somalint: allow(<check>[, <check>]) "
                      "<reason>\n");
         return 2;
