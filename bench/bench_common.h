@@ -22,6 +22,7 @@
 #include "common/thread_annotations.h"
 #include "hw/hardware.h"
 #include "search/soma.h"
+#include "sim/memory_validation.h"
 #include "workload/models.h"
 
 namespace soma {
@@ -211,6 +212,10 @@ struct ComparisonRow {
     EvalReport cocco;
     EvalReport ours1;
     EvalReport ours2;
+    /** Analytical-vs-banked latency gap of the winning SoMa schedule
+     *  (ValidateMemoryTiming); valid only when memory_gap_ok. */
+    bool memory_gap_ok = false;
+    double memory_gap_pct = 0.0;
 };
 
 /** Run the three schemes of Fig. 6 for one configuration. */
@@ -228,6 +233,14 @@ RunComparison(const WorkloadConfig &cfg, int batch, Profile profile,
     row.cocco = cocco.report;
     row.ours1 = ours.stage1_report;
     row.ours2 = ours.report;
+    if (ours.report.valid && ours.parsed.valid) {
+        MemoryValidationResult v =
+            ValidateMemoryTiming(graph, hw, ours.parsed, ours.dlsa);
+        if (v.ok) {
+            row.memory_gap_ok = true;
+            row.memory_gap_pct = v.gap_pct;
+        }
+    }
     return row;
 }
 

@@ -81,15 +81,18 @@ PrintFigure()
     MutexLock lock(g_mutex);
     Table t({"workload", "platform", "bs", "scheme", "norm core E",
              "norm DRAM E", "util%", "theory%", "avg buf%", "LGs",
-             "tiles"});
+             "tiles", "dram gap%"});
     for (const ComparisonRow &row : g_rows) {
         double base_e = row.cocco.valid ? row.cocco.EnergyJ() : 1.0;
         Bytes gbuf = PlatformFor(row.cfg).gbuf_bytes;
-        auto add = [&](const char *scheme, const EvalReport &r) {
+        // The banked-DRAM validation gap is computed for the winning
+        // (ours_2) schedule only; the other rows show "-".
+        auto add = [&](const char *scheme, const EvalReport &r,
+                       bool with_gap) {
             if (!r.valid) {
                 t.AddRow({row.cfg.label, row.cfg.cloud ? "cloud" : "edge",
                           std::to_string(row.batch), scheme, "-", "-", "-",
-                          "-", "-", "-", "-"});
+                          "-", "-", "-", "-", "-"});
                 return;
             }
             t.AddRow({row.cfg.label, row.cfg.cloud ? "cloud" : "edge",
@@ -100,11 +103,14 @@ PrintFigure()
                       FormatDouble(r.theory_max_util * 100, 1),
                       FormatDouble(r.avg_buffer / gbuf * 100, 1),
                       std::to_string(r.num_lgs),
-                      std::to_string(r.num_tiles)});
+                      std::to_string(r.num_tiles),
+                      with_gap && row.memory_gap_ok
+                          ? FormatDouble(row.memory_gap_pct, 1)
+                          : "-"});
         };
-        add("cocco", row.cocco);
-        add("ours_1", row.ours1);
-        add("ours_2", row.ours2);
+        add("cocco", row.cocco, false);
+        add("ours_1", row.ours1, false);
+        add("ours_2", row.ours2, true);
     }
     std::cout << "\n=== Fig. 6: Overall Comparisons (Cocco vs Ours_1 vs "
                  "Ours_2) ===\n";
@@ -113,6 +119,8 @@ PrintFigure()
     // --- Sec. VI-B aggregate statistics ---
     double s1_speedup = 0, s2_speedup = 0, total_speedup = 0;
     double energy_red = 0, theory_gap = 0;
+    double mem_gap = 0;
+    int mem_gap_n = 0;
     double cocco_lgs = 0, ours_lgs = 0, cocco_tiles = 0, ours_tiles = 0;
     double ours_flgs = 0;
     int n = 0;
@@ -132,12 +140,19 @@ PrintFigure()
             1.0 - row.ours2.EnergyJ() / row.cocco.EnergyJ());
         JsonSink::Instance().Add(id, "compute_util",
                                  row.ours2.compute_util);
+        if (row.memory_gap_ok)
+            JsonSink::Instance().Add(id, "memory_gap_pct",
+                                     row.memory_gap_pct);
         s1_speedup += row.cocco.latency / row.ours1.latency;
         s2_speedup += row.ours1.latency / row.ours2.latency;
         total_speedup += row.cocco.latency / row.ours2.latency;
         energy_red += 1.0 - row.ours2.EnergyJ() / row.cocco.EnergyJ();
         theory_gap +=
             1.0 - row.ours2.compute_util / row.ours2.theory_max_util;
+        if (row.memory_gap_ok) {
+            mem_gap += row.memory_gap_pct;
+            ++mem_gap_n;
+        }
         cocco_lgs += row.cocco.num_lgs;
         ours_lgs += row.ours2.num_lgs;
         cocco_tiles += row.cocco.num_tiles;
@@ -161,6 +176,9 @@ PrintFigure()
                              energy_red / n);
     JsonSink::Instance().Add("fig6/aggregate", "avg_theory_gap",
                              theory_gap / n);
+    if (mem_gap_n > 0)
+        JsonSink::Instance().Add("fig6/aggregate", "avg_memory_gap_pct",
+                                 mem_gap / mem_gap_n);
     std::cout << "\n=== Sec. VI-B statistics (paper values in brackets) "
                  "===\n";
     std::cout << "avg stage-1 speedup over Cocco: "
@@ -173,6 +191,9 @@ PrintFigure()
               << FormatDouble(energy_red / n * 100, 1) << "%  [37.3%]\n";
     std::cout << "avg gap to theoretical max utilization: "
               << FormatDouble(theory_gap / n * 100, 1) << "%  [3.1%]\n";
+    if (mem_gap_n > 0)
+        std::cout << "avg analytical-vs-banked DRAM latency gap: "
+                  << FormatDouble(mem_gap / mem_gap_n, 1) << "%\n";
     std::cout << "avg LGs per network: cocco "
               << FormatDouble(cocco_lgs / n, 1) << " [13.0], ours "
               << FormatDouble(ours_lgs / n, 1) << " [2.5], ours FLGs "

@@ -140,6 +140,10 @@ ScheduleRequest::ToJson() const
     json.Set("hardware", Json::Str(hardware));
     if (gbuf_bytes > 0) json.Set("gbuf_bytes", Json::Int(gbuf_bytes));
     if (dram_gbps > 0) json.Set("dram_gbps", Json::Number(dram_gbps));
+    // Default ("" = analytical) omitted: pre-seam fingerprints and
+    // cached results stay valid.
+    if (!memory_model.empty())
+        json.Set("memory_model", Json::Str(memory_model));
     json.Set("scheduler", Json::Str(scheduler));
     json.Set("profile", Json::Str(ToString(profile)));
     json.Set("seed", Json::U64(seed));
@@ -192,6 +196,9 @@ ScheduleRequest::FromJson(const Json &json, ScheduleRequest *out,
         } else if (key == "dram_gbps") {
             if (!FiniteFromJson(value, key, &out->dram_gbps, err))
                 return false;
+        } else if (key == "memory_model") {
+            if (!ExpectString(value, key, err)) return false;
+            out->memory_model = value.AsString();
         } else if (key == "scheduler") {
             if (!ExpectString(value, key, err)) return false;
             out->scheduler = value.AsString();
@@ -327,6 +334,8 @@ ScheduleResult::ToJson() const
     json.Set("model", Json::Str(model));
     json.Set("batch", Json::Int(batch));
     json.Set("hardware", Json::Str(hardware));
+    if (!memory_model.empty())
+        json.Set("memory_model", Json::Str(memory_model));
     json.Set("scheduler", Json::Str(scheduler));
     json.Set("profile", Json::Str(ToString(profile)));
     json.Set("seed", Json::U64(seed));
@@ -392,6 +401,7 @@ ScheduleResult::FromJson(const Json &json, ScheduleResult *out,
     if (const Json *v = json.Find("batch"))
         out->batch = static_cast<int>(v->AsInt(1));
     out->hardware = str("hardware");
+    out->memory_model = str("memory_model");
     out->scheduler = str("scheduler");
     if (const Json *v = json.Find("profile")) {
         if (!ParseSearchProfile(v->AsString(), &out->profile)) {

@@ -79,6 +79,25 @@ struct ScheduleRequest {
     Bytes gbuf_bytes = 0;
     double dram_gbps = 0.0;
 
+    /**
+     * MemoryModelRegistry name steering the evaluator's DRAM-timing
+     * seam: "" (default, = "analytical"), "analytical", "banked".
+     * Result-affecting, so it is serialized and fingerprint-included;
+     * the empty default is *omitted* from JSON, which keeps every
+     * pre-seam fingerprint (and cached result) valid.
+     */
+    std::string memory_model;
+
+    /**
+     * Re-time the final schedule under the banked model's trace replay
+     * and publish the analytical-vs-banked gap (metrics
+     * memory.validation_gap_pct, eval.dram.*). Observational: result
+     * bytes are unchanged, so like `trace` it is not serialized and is
+     * excluded from Fingerprint(). The CLI face is
+     * `somac run --validate-memory` (implied by --memory-model banked).
+     */
+    bool validate_memory = false;
+
     /** SchedulerRegistry name: "soma", "cocco", "lfa-only", ... */
     std::string scheduler = "soma";
     SearchProfile profile = SearchProfile::kQuick;
@@ -204,6 +223,7 @@ struct ScheduleResult {
     std::string model;
     int batch = 1;
     std::string hardware;
+    std::string memory_model;  ///< "" = analytical default
     std::string scheduler;
     SearchProfile profile = SearchProfile::kQuick;
     std::uint64_t seed = 1;

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/trace.h"
+#include "sim/memory_validation.h"
 #include "sim/trace.h"
 
 namespace soma {
@@ -34,6 +35,7 @@ EchoRequest(const ScheduleRequest &request, ScheduleResult *result)
     result->model = inline_only ? request.graph->name() : request.model;
     result->batch = inline_only ? request.graph->batch() : request.batch;
     result->hardware = request.hardware;
+    result->memory_model = request.memory_model;
     result->scheduler = request.scheduler;
     result->profile = request.profile;
     result->seed = request.seed;
@@ -131,7 +133,8 @@ Scheduler::Scheduler(const Options &options)
     : options_(options),
       models_(ModelRegistry::WithBuiltins()),
       hardware_(HardwareRegistry::WithBuiltins()),
-      schedulers_(SchedulerRegistry::WithBuiltins())
+      schedulers_(SchedulerRegistry::WithBuiltins()),
+      memory_models_(MemoryModelRegistry::WithBuiltins())
 {
 }
 
@@ -339,6 +342,12 @@ Scheduler::RunPipeline(const ScheduleRequest &original, JobId id,
     if (!hardware_.Make(request.hardware, &hw, &err)) return fail(err);
     if (request.gbuf_bytes > 0) hw.gbuf_bytes = request.gbuf_bytes;
     if (request.dram_gbps > 0) hw.dram_gbps = request.dram_gbps;
+    if (!request.memory_model.empty()) {
+        const MemoryModel *mm = memory_models_.Find(request.memory_model,
+                                                    &err);
+        if (!mm) return fail(err);
+        hw.memory_model = mm;
+    }
 
     const SchedulerFn *scheduler_fn =
         schedulers_.Find(request.scheduler, &err);
@@ -444,6 +453,41 @@ Scheduler::RunPipeline(const ScheduleRequest &original, JobId id,
     if (tracer)
         tracer->AddComplete("pipeline.artifacts", t_artifacts,
                             MonotonicNow());
+
+    // ---- memory validation: re-time the final schedule under the
+    // banked replay and publish the analytical-vs-banked gap. Purely
+    // observational (metrics only, result bytes untouched), so it runs
+    // after the result is fully assembled.
+    if (request.validate_memory) {
+        const auto t_validate = MonotonicNow();
+        const MemoryValidationResult mv = ValidateMemoryTiming(
+            *graph, hw, result.parsed, result.dlsa);
+        auto &reg = obs::MetricsRegistry::Global();
+        reg.GetCounter("eval.dram.validations").Add();
+        if (mv.ok) {
+            reg.GetGauge("memory.validation_gap_pct").Set(mv.gap_pct);
+            reg.GetGauge("memory.analytical_latency")
+                .Set(mv.analytical_latency);
+            reg.GetGauge("memory.banked_latency").Set(mv.banked_latency);
+            reg.GetCounter("eval.dram.transactions")
+                .Add(mv.replay.transactions);
+            reg.GetCounter("eval.dram.row_hits").Add(mv.replay.row_hits);
+            reg.GetCounter("eval.dram.row_misses")
+                .Add(mv.replay.row_misses);
+            reg.GetCounter("eval.dram.row_conflicts")
+                .Add(mv.replay.row_conflicts);
+            reg.GetCounter("eval.dram.turnarounds")
+                .Add(mv.replay.turnarounds);
+        } else {
+            reg.GetCounter("eval.dram.validation_errors").Add();
+        }
+        if (tracer) {
+            std::vector<obs::SpanArg> args;
+            args.push_back({"gap_pct", Json::Number(mv.gap_pct)});
+            tracer->AddComplete("pipeline.validate_memory", t_validate,
+                                MonotonicNow(), std::move(args));
+        }
+    }
 
     progress("done");
     result.stats.total_seconds = SecondsSince(t_start);

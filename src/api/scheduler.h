@@ -40,6 +40,7 @@
 #include "api/registry.h"
 #include "api/request.h"
 #include "common/thread_annotations.h"
+#include "hw/memory_model.h"
 
 namespace soma {
 
@@ -71,6 +72,7 @@ class Scheduler {
     ModelRegistry &models() { return models_; }
     HardwareRegistry &hardware() { return hardware_; }
     SchedulerRegistry &schedulers() { return schedulers_; }
+    MemoryModelRegistry &memory_models() { return memory_models_; }
 
     /** Run @p request to completion in the calling thread. */
     ScheduleResult Schedule(const ScheduleRequest &request);
@@ -127,6 +129,7 @@ class Scheduler {
     ModelRegistry models_;          // somalint: allow(guarded-field)
     HardwareRegistry hardware_;     // somalint: allow(guarded-field)
     SchedulerRegistry schedulers_;  // somalint: allow(guarded-field)
+    MemoryModelRegistry memory_models_;  // somalint: allow(guarded-field)
 
     /** Lock order: leaf — never held while running a pipeline or
      *  joining a worker. */

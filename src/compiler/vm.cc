@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "hw/memory_model.h"
+
 namespace soma {
 
 VmResult
@@ -39,7 +41,8 @@ ExecuteProgram(const Program &prog,
             unit_free = &core_free;
             res.core_busy += duration;
         } else {
-            duration = hw.DramSeconds(instr.bytes);
+            duration = ModelTransferSeconds(hw, instr.bytes,
+                                            instr.op == Opcode::kLoad);
             unit_free = &dram_free;
             res.dram_busy += duration;
         }

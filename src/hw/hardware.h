@@ -17,6 +17,8 @@
 
 namespace soma {
 
+class MemoryModel;  // hw/memory_model.h
+
 /** Per-access energy constants, in picojoules. */
 struct EnergyModel {
     double dram_pj_per_byte = 15.0;  ///< DRAM read or write (LPDDR class)
@@ -49,6 +51,14 @@ struct HardwareConfig {
     Bytes l0_out_bytes = 32 * 1024;      ///< per-core OL0
 
     EnergyModel energy;
+
+    /**
+     * DRAM timing backend for the evaluator's seam (hw/memory_model.h).
+     * nullptr means the analytical model — the evaluator treats a null
+     * pointer and &AnalyticalMemoryModel() identically. Non-owning:
+     * points at a process-wide registry singleton.
+     */
+    const MemoryModel *memory_model = nullptr;
 
     /** Peak throughput in ops/second (2 ops per MAC). */
     double PeakOpsPerSecond() const
@@ -89,9 +99,24 @@ HardwareConfig EdgeAccelerator();
  */
 HardwareConfig CloudAccelerator();
 
-/** Copy of @p base with a different GBUF size / DRAM bandwidth (DSE). */
+/**
+ * Copy of @p base with a different GBUF size / DRAM bandwidth (DSE).
+ * Arguments must be positive and finite; invalid values are rejected
+ * (see ScaledHardware) — passing them here is a programming error and
+ * asserts in debug builds, returning @p base unchanged otherwise.
+ */
 HardwareConfig WithBufferAndBandwidth(const HardwareConfig &base,
                                       Bytes gbuf_bytes, double dram_gbps);
+
+/**
+ * Validated scaling: copy of @p base with the given GBUF size and DRAM
+ * bandwidth, rejecting zero/negative/non-finite arguments with a clear
+ * error instead of letting NaN/inf timings leak into the evaluator.
+ * Returns false and sets @p err on rejection (@p out untouched).
+ */
+bool ScaledHardware(const HardwareConfig &base, Bytes gbuf_bytes,
+                    double dram_gbps, HardwareConfig *out,
+                    std::string *err);
 
 }  // namespace soma
 

@@ -26,6 +26,13 @@
  *    through ScheduleRequest::warm_state). Pure-value caches — a warm
  *    search produces the same bytes as a cold one, pinned by test.
  *
+ * Memory-timing backends and the caches: memory_model is serialized,
+ * so Fingerprint() separates result-cache entries per backend with no
+ * service-layer changes. Warm state deliberately stays shared across
+ * backends — tilings and tile costs are compute-side values the DRAM
+ * seam never touches (DESIGN.md, "Memory timing backends") — so a
+ * banked sweep warm-starts from an analytical one and vice versa.
+ *
  * What is NOT cached: inline-graph requests (their fingerprint only
  * covers the graph's name), failed results (errors are not pure — a
  * registry entry may be added later), and deadline-truncated results

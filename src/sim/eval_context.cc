@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "hw/memory_model.h"
 #include "obs/prof.h"
 
 namespace soma {
@@ -246,11 +247,29 @@ void
 EvalContext::FillDramSeconds(const HardwareConfig &hw, TimelineSoA *soa)
 {
     const int D = soa->D();
-    soa->t_dram_seconds.resize(D);
-    // DramSeconds is a pure function of the byte count, so hoisting it
-    // out of the event loop cannot change a single result bit.
-    for (int j = 0; j < D; ++j)
-        soa->t_dram_seconds[j] = hw.DramSeconds(soa->t_bytes[j]);
+    if (hw.memory_model == nullptr) {
+        // Default (analytical) path kept inline so a null seam is
+        // trivially the legacy math: DramSeconds is a pure function of
+        // the byte count, so hoisting it out of the event loop cannot
+        // change a single result bit.
+        soa->t_dram_seconds.resize(D);
+        for (int j = 0; j < D; ++j)
+            soa->t_dram_seconds[j] = hw.DramSeconds(soa->t_bytes[j]);
+        soa->dram_busy_seconds = hw.DramSeconds(soa->sum_dram_bytes);
+    } else {
+        // Seam path. The model sees the tensor-index-ordered transfer
+        // list; its contract (memory_model.h) makes the fill a pure
+        // function of (parse, hw), which is all the delta/splice logic
+        // relies on — the hot loop only ever reads this array.
+        DramTransferList transfers;
+        transfers.bytes = soa->t_bytes.data();
+        transfers.is_load = soa->t_is_load.data();
+        transfers.count = D;
+        hw.memory_model->FillTransferSeconds(hw, transfers,
+                                             &soa->t_dram_seconds);
+        soa->dram_busy_seconds = hw.memory_model->ChannelBusySeconds(
+            hw, soa->sum_dram_bytes, soa->t_dram_seconds);
+    }
     soa->hw_for = &hw;
 }
 
@@ -442,7 +461,7 @@ EvalContext::FinalizeAggregates(const TimelineSoA &soa,
 
     rep.compute_busy = soa.sum_seconds;
     rep.dram_bytes = soa.sum_dram_bytes;
-    rep.dram_busy = hw.DramSeconds(soa.sum_dram_bytes);
+    rep.dram_busy = soa.dram_busy_seconds;
     rep.core_energy_j = soa.sum_energy_pj * 1e-12;
     rep.dram_energy_j = static_cast<double>(soa.sum_dram_bytes) *
                         hw.energy.dram_pj_per_byte * 1e-12;

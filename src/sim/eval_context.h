@@ -243,12 +243,17 @@ class EvalContext {
         std::vector<int> need_off;  ///< CSR offsets, size T+1
         std::vector<int> need_idx;  ///< CSR operand-load indices
         std::vector<Bytes> t_bytes;
-        std::vector<double> t_dram_seconds;  ///< hw.DramSeconds(bytes)
+        /// Per-tensor channel seconds from the hw's MemoryModel seam
+        /// (hw.DramSeconds(bytes) for the analytical/null backend).
+        std::vector<double> t_dram_seconds;
         std::vector<unsigned char> t_is_load;
         std::vector<TilePos> t_first_use;
         double sum_seconds = 0.0;    ///< == full-eval compute_busy
         double sum_energy_pj = 0.0;  ///< == full-eval core picojoules
         Bytes sum_dram_bytes = 0;    ///< == parsed.TotalDramBytes()
+        /// Model-provided aggregate for EvalReport::dram_busy, filled
+        /// alongside t_dram_seconds (constant per (parse, hw)).
+        double dram_busy_seconds = 0.0;
         int T() const { return static_cast<int>(tile_seconds.size()); }
         int D() const { return static_cast<int>(t_bytes.size()); }
     };

@@ -1,0 +1,127 @@
+#include "sim/memory_validation.h"
+
+#include <cmath>
+#include <vector>
+
+#include "hw/memory_model.h"
+#include "sim/evaluator.h"
+
+namespace soma {
+
+namespace {
+
+/**
+ * Override backend that hands the evaluator precomputed per-tensor
+ * seconds (tensor-index order) — how the replay's history-dependent
+ * costs re-enter the timeline without violating the seam contract:
+ * for *this one parse* the array is a constant, so the fill is still
+ * pure.
+ */
+class PrecomputedSecondsModel final : public MemoryModel {
+  public:
+    explicit PrecomputedSecondsModel(const std::vector<double> *seconds)
+        : seconds_(seconds)
+    {
+    }
+
+    const char *name() const override { return "precomputed"; }
+    const char *description() const override
+    {
+        return "validation-internal: replayed per-tensor seconds";
+    }
+
+    void FillTransferSeconds(const HardwareConfig &,
+                             const DramTransferList &transfers,
+                             std::vector<double> *seconds) const override
+    {
+        seconds->assign(seconds_->begin(), seconds_->end());
+        seconds->resize(transfers.count, 0.0);
+    }
+
+    double ChannelBusySeconds(
+        const HardwareConfig &, Bytes,
+        const std::vector<double> &seconds) const override
+    {
+        double total = 0.0;
+        for (double s : seconds) total += s;
+        return total;
+    }
+
+  private:
+    const std::vector<double> *seconds_;
+};
+
+}  // namespace
+
+MemoryValidationResult
+ValidateMemoryTiming(const Graph &graph, const HardwareConfig &hw,
+                     const ParsedSchedule &parsed, const DlsaEncoding &dlsa,
+                     const BankedDramModel &model)
+{
+    MemoryValidationResult out;
+
+    const int D = parsed.NumTensors();
+    if (static_cast<int>(dlsa.order.size()) != D) {
+        out.error = "DLSA order size does not match the parse's tensors";
+        return out;
+    }
+
+    HardwareConfig hw_analytical = hw;
+    hw_analytical.memory_model = nullptr;
+    const Ops total_ops = graph.TotalOps();
+    EvalReport analytical = EvaluateSchedule(
+        graph, hw_analytical, parsed, dlsa, hw.gbuf_bytes, total_ops);
+    if (!analytical.valid) {
+        out.error =
+            "analytical re-evaluation invalid: " + analytical.why_invalid;
+        return out;
+    }
+    out.analytical_latency = analytical.latency;
+
+    // Home addresses are a property of the tensor (index order); the
+    // transaction stream is the schedule's DRAM Tensor Order (DLSA
+    // rank order) over those addresses.
+    std::vector<Bytes> bytes_by_tensor(static_cast<size_t>(D));
+    for (int j = 0; j < D; ++j) bytes_by_tensor[j] = parsed.tensors[j].bytes;
+    std::vector<std::uint64_t> addresses;
+    AssignRowAlignedAddresses(bytes_by_tensor.data(), D,
+                              model.params().row_bytes, &addresses);
+
+    std::vector<BankedTransfer> stream(static_cast<size_t>(D));
+    for (int r = 0; r < D; ++r) {
+        const int j = dlsa.order[r];
+        stream[r].address = addresses[j];
+        stream[r].bytes = parsed.tensors[j].bytes;
+        stream[r].is_load = parsed.tensors[j].IsLoad();
+    }
+
+    std::vector<double> seconds_by_rank;
+    model.ReplayTensorStream(hw, stream, &seconds_by_rank, &out.replay);
+
+    std::vector<double> seconds_by_tensor(static_cast<size_t>(D), 0.0);
+    for (int r = 0; r < D; ++r)
+        seconds_by_tensor[dlsa.order[r]] = seconds_by_rank[r];
+
+    PrecomputedSecondsModel replay_model(&seconds_by_tensor);
+    HardwareConfig hw_banked = hw;
+    hw_banked.memory_model = &replay_model;
+    EvalReport banked = EvaluateSchedule(graph, hw_banked, parsed, dlsa,
+                                         hw.gbuf_bytes, total_ops);
+    if (!banked.valid) {
+        out.error = "banked re-evaluation invalid: " + banked.why_invalid;
+        return out;
+    }
+    out.banked_latency = banked.latency;
+
+    if (!(out.analytical_latency > 0.0) ||
+        !std::isfinite(out.analytical_latency)) {
+        out.error = "analytical latency is not positive and finite";
+        return out;
+    }
+    out.gap_pct =
+        (out.banked_latency / out.analytical_latency - 1.0) * 100.0;
+    out.ok = true;
+    return out;
+}
+
+}  // namespace soma

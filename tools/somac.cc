@@ -60,10 +60,10 @@ Usage(std::ostream &os, int code)
           "  somac sweep spec.json [--csv FILE] [--json FILE]\n"
           "            [--stats FILE] [--trace FILE] [--cache-dir DIR]\n"
           "            [--cache-capacity N] [--jobs N] [--shard I/N]\n"
-          "            [--repeat N] [--quiet]\n"
+          "            [--repeat N] [--memory-model M] [--quiet]\n"
           "  somac fingerprint request.json [--canonical]\n"
           "            [--stats FILE]\n"
-          "  somac list models|hardware|schedulers\n"
+          "  somac list models|hardware|schedulers|memory-models\n"
           "  somac validate result.json\n"
           "  somac help\n"
           "\n"
@@ -73,6 +73,14 @@ Usage(std::ostream &os, int code)
           "  --hw NAME           hardware preset (edge|cloud|custom)\n"
           "  --gbuf-mb MB        override GBUF size\n"
           "  --dram-gbps GBPS    override DRAM bandwidth\n"
+          "  --memory-model M    DRAM timing backend (analytical|banked;\n"
+          "                      see `somac list memory-models`)\n"
+          "  --validate-memory   re-time the result under the banked\n"
+          "                      replay and report the analytical-vs-\n"
+          "                      banked latency gap (implied by\n"
+          "                      --memory-model banked; metrics\n"
+          "                      memory.validation_gap_pct + eval.dram.*\n"
+          "                      land in --stats)\n"
           "  --scheduler NAME    soma|cocco|lfa-only (default soma)\n"
           "  --profile P         quick|default|full (default quick)\n"
           "  --seed N            search seed (default 1)\n"
@@ -209,10 +217,16 @@ CmdList(const std::vector<std::string> &args)
         print("hardware", scheduler.hardware().Names());
     if (what == "schedulers" || what == "all")
         print("schedulers", scheduler.schedulers().Names());
+    if (what == "memory-models" || what == "all") {
+        std::cout << "memory-models:\n";
+        for (const MemoryModel *m : scheduler.memory_models().models())
+            std::cout << "  " << m->name() << " - " << m->description()
+                      << "\n";
+    }
     if (what != "models" && what != "hardware" && what != "schedulers" &&
-        what != "all") {
+        what != "memory-models" && what != "all") {
         std::cerr << "unknown list target \"" << what
-                  << "\" (models|hardware|schedulers)\n";
+                  << "\" (models|hardware|schedulers|memory-models)\n";
         return 2;
     }
     return 0;
@@ -224,10 +238,10 @@ FlagTakesValue(const std::string &flag)
 {
     static const char *kValueFlags[] = {
         "--model", "--batch", "--hw", "--hardware", "--gbuf-mb",
-        "--dram-gbps", "--scheduler", "--profile", "--seed", "--cost-n",
-        "--cost-m", "--chains", "--threads", "--deadline-ms",
-        "--exec-graph-rows", "-o", "--out", "--outdir", "--trace",
-        "--stats"};
+        "--dram-gbps", "--memory-model", "--scheduler", "--profile",
+        "--seed", "--cost-n", "--cost-m", "--chains", "--threads",
+        "--deadline-ms", "--exec-graph-rows", "-o", "--out", "--outdir",
+        "--trace", "--stats"};
     for (const char *f : kValueFlags)
         if (flag == f) return true;
     return false;
@@ -237,7 +251,8 @@ bool
 IsBooleanFlag(const std::string &flag)
 {
     static const char *kBoolFlags[] = {"--ir", "--asm", "--traces",
-                                       "--exec-graph", "--quiet"};
+                                       "--exec-graph", "--quiet",
+                                       "--validate-memory"};
     for (const char *f : kBoolFlags)
         if (flag == f) return true;
     return false;
@@ -323,6 +338,11 @@ CmdRun(const std::vector<std::string> &args)
             if (!(v = need_value(i, arg))) return 2;
             if (!ParseDoubleArg(arg, *v, &request.dram_gbps)) return 2;
             ++i;
+        } else if (arg == "--memory-model") {
+            if (!(v = need_value(i, arg))) return 2;
+            request.memory_model = *v, ++i;
+        } else if (arg == "--validate-memory") {
+            request.validate_memory = true;
         } else if (arg == "--scheduler") {
             if (!(v = need_value(i, arg))) return 2;
             request.scheduler = *v, ++i;
@@ -396,6 +416,9 @@ CmdRun(const std::vector<std::string> &args)
                      "--model (see somac help)\n";
         return 2;
     }
+    // Searching under the banked backend without measuring the gap it
+    // was built to expose would be pointless — imply validation.
+    if (request.memory_model == "banked") request.validate_memory = true;
 
     Scheduler scheduler;
     if (!quiet) {
@@ -413,6 +436,20 @@ CmdRun(const std::vector<std::string> &args)
     std::optional<obs::ProfEnableScope> prof_hold;
     if (!stats_path.empty()) prof_hold.emplace();
     ScheduleResult result = scheduler.Schedule(request);
+
+    if (request.validate_memory && result.ok && !quiet) {
+        // The pipeline published the gap to the metrics registry (the
+        // same numbers --stats dumps); surface it next to the progress
+        // lines.
+        auto &reg = obs::MetricsRegistry::Global();
+        std::cerr << "[somac] memory validation: analytical "
+                  << reg.GetGauge("memory.analytical_latency").value()
+                  << "s vs banked "
+                  << reg.GetGauge("memory.banked_latency").value()
+                  << "s, gap "
+                  << reg.GetGauge("memory.validation_gap_pct").value()
+                  << "%\n";
+    }
 
     std::string err;
     const std::string result_text = result.ToJson().Dump(2) + "\n";
@@ -823,7 +860,7 @@ int
 CmdSweep(const std::vector<std::string> &args)
 {
     std::string spec_path, csv_path, json_path, stats_path, cache_dir;
-    std::string trace_path;
+    std::string trace_path, memory_model;
     int cache_capacity = 0, jobs = 2, repeat = 1;
     int shard_index = 0, shard_count = 1;
     bool quiet = false;
@@ -858,6 +895,9 @@ CmdSweep(const std::vector<std::string> &args)
         } else if (arg == "--trace") {
             if (!(v = need_value(i, arg))) return 2;
             trace_path = *v, ++i;
+        } else if (arg == "--memory-model") {
+            if (!(v = need_value(i, arg))) return 2;
+            memory_model = *v, ++i;
         } else if (arg == "--cache-dir") {
             if (!(v = need_value(i, arg))) return 2;
             cache_dir = *v, ++i;
@@ -910,6 +950,11 @@ CmdSweep(const std::vector<std::string> &args)
         std::cerr << spec_path << ": " << err << "\n";
         return 2;
     }
+    // A memory model is a timing-backend choice, not a grid axis:
+    // --memory-model retimes the whole sweep (the spec's base request
+    // can still pin one per-sweep via its memory_model field).
+    if (!memory_model.empty())
+        for (ScheduleRequest &r : requests) r.memory_model = memory_model;
     const std::size_t grid_size = requests.size();
     if (shard_count > 1) {
         // Deterministic work partition: shard I keeps grid points
